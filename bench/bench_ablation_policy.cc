@@ -1,0 +1,43 @@
+// Ablation C: replacement policy comparison (paper's benefit-based policy
+// vs LRU vs admit-all) under a tight cache on the TPC-H throughput run.
+// The benefit metric (cost * h / size, Eq. 1) should dominate: it keeps
+// expensive small results over cheap or huge ones.
+#include "bench_util.h"
+
+using namespace recycledb;
+using namespace recycledb::bench;
+
+int main() {
+  double sf = tpch::ScaleFromEnv(0.01);
+  int streams = static_cast<int>(EnvInt("RECYCLEDB_STREAMS", 16));
+  Catalog catalog;
+  tpch::Generate(sf, &catalog);
+
+  PrintHeader("Ablation C: replacement policy, " + std::to_string(streams) +
+              " TPC-H streams, 1MB cache, SPEC mode");
+  std::printf("%12s %14s %10s %10s\n", "policy", "avg-stream(ms)", "reuses",
+              "evictions");
+
+  struct Case {
+    const char* name;
+    CachePolicy policy;
+  };
+  const Case cases[] = {{"benefit", CachePolicy::kBenefit},
+                        {"lru", CachePolicy::kLru},
+                        {"admit-all", CachePolicy::kAdmitAll}};
+  for (const Case& c : cases) {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kSpeculation;
+    cfg.cache_bytes = 1 << 20;
+    cfg.cache_policy = c.policy;
+    Recycler rec(&catalog, cfg);
+    auto specs = MakeTpchStreams(streams, sf);
+    workload::RunReport report =
+        workload::RunStreams(&rec, std::move(specs), 12);
+    std::printf("%12s %14.1f %10lld %10lld\n", c.name, report.AvgStreamMs(),
+                (long long)rec.counters().reuses.load(),
+                (long long)rec.counters().evictions.load());
+    std::fflush(stdout);
+  }
+  return 0;
+}

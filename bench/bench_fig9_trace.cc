@@ -1,0 +1,55 @@
+// Figure 9 reproduction: detailed trace of 8 concurrent streams running 6
+// TPC-H patterns (Q1, Q8, Q13, Q18, Q19, Q21) with speculation on and the
+// proactive variants for Q1/Q19 (PA mode).
+//
+// Expected shape (paper): the first instance of each shared intermediate
+// materializes it (possibly stalling concurrent peers); later instances
+// reuse it; every query either materializes or reuses its final result.
+#include "bench_util.h"
+
+using namespace recycledb;
+using namespace recycledb::bench;
+
+int main() {
+  double sf = tpch::ScaleFromEnv(0.02);
+  Catalog catalog;
+  tpch::Generate(sf, &catalog);
+
+  PrintHeader("Figure 9: 8-stream trace of {Q1,Q8,Q13,Q18,Q19,Q21}, PA mode");
+
+  const int kPatterns[] = {1, 8, 13, 18, 19, 21};
+  std::vector<workload::StreamSpec> streams;
+  for (int s = 0; s < 8; ++s) {
+    Rng rng(500 + s);
+    workload::StreamSpec spec;
+    // Per-stream order permutation of the 6 patterns, qgen parameters.
+    std::vector<int> order(std::begin(kPatterns), std::end(kPatterns));
+    for (int i = 5; i > 0; --i) {
+      std::swap(order[i], order[rng.Uniform(0, i)]);
+    }
+    for (int q : order) {
+      spec.labels.push_back("Q" + std::to_string(q));
+      spec.plans.push_back(
+          tpch::BuildQuery(q, tpch::GenerateParams(q, &rng, sf), sf));
+    }
+    streams.push_back(std::move(spec));
+  }
+
+  Recycler rec = MakeRecycler(&catalog, RecyclerMode::kProactive);
+  workload::RunReport report = workload::RunStreams(&rec, streams, 8);
+
+  std::printf("%s\n", workload::FormatTrace(report).c_str());
+  std::printf("wall time: %.1f ms\n", report.wall_ms);
+  std::printf("reuses=%lld (subsumption=%lld) materializations=%lld "
+              "stalls=%lld spec-aborts=%lld proactive=%lld\n",
+              (long long)rec.counters().reuses.load(),
+              (long long)rec.counters().subsumption_reuses.load(),
+              (long long)rec.counters().materializations.load(),
+              (long long)rec.counters().stalls.load(),
+              (long long)rec.counters().spec_aborts.load(),
+              (long long)rec.counters().proactive_rewrites.load());
+  std::printf("recycler cache: %lld entries, %.1f MB\n",
+              (long long)rec.graph().Stats().num_cached,
+              rec.graph().Stats().cached_bytes / 1048576.0);
+  return 0;
+}

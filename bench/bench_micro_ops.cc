@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): operator throughput, expression
+// evaluation, and recycler-graph matching/insertion latency.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "recycler/recycler.h"
+
+namespace recycledb {
+namespace {
+
+Catalog* SharedCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    Schema s({{"k", TypeId::kInt32},
+              {"g", TypeId::kInt32},
+              {"v", TypeId::kDouble}});
+    TablePtr t = MakeTable(s);
+    Rng rng(5);
+    for (int i = 0; i < 1 << 20; ++i) {
+      t->AppendRow({static_cast<int32_t>(rng.Uniform(0, 1 << 20)),
+                    static_cast<int32_t>(rng.Uniform(0, 512)),
+                    static_cast<double>(rng.Uniform(0, 100000))});
+    }
+    (void)c->RegisterTable("big", t);
+    return c;
+  }();
+  return catalog;
+}
+
+void RunPlan(PlanPtr plan, benchmark::State& state) {
+  Executor exec(SharedCatalog());
+  int64_t rows = 0;
+  for (auto _ : state) {
+    PlanPtr p = plan->CloneShallow();
+    p->Bind(*SharedCatalog());
+    ExecResult r = exec.Run(p);
+    rows += r.table->num_rows();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+
+void BM_Scan(benchmark::State& state) {
+  RunPlan(PlanNode::Scan("big", {"k", "v"}), state);
+}
+BENCHMARK(BM_Scan)->Unit(benchmark::kMillisecond);
+
+void BM_Filter(benchmark::State& state) {
+  RunPlan(PlanNode::Select(
+              PlanNode::Scan("big", {"k", "v"}),
+              Expr::Lt(Expr::Column("v"), Expr::Literal(1000.0))),
+          state);
+}
+BENCHMARK(BM_Filter)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectArith(benchmark::State& state) {
+  RunPlan(PlanNode::Project(
+              PlanNode::Scan("big", {"v"}),
+              {{Expr::Arith(ArithOp::kMul, Expr::Column("v"),
+                            Expr::Literal(1.07)),
+                "taxed"}}),
+          state);
+}
+BENCHMARK(BM_ProjectArith)->Unit(benchmark::kMillisecond);
+
+void BM_HashAgg512Groups(benchmark::State& state) {
+  RunPlan(PlanNode::Aggregate(PlanNode::Scan("big", {"g", "v"}), {"g"},
+                              {{AggFunc::kSum, Expr::Column("v"), "sv"}}),
+          state);
+}
+BENCHMARK(BM_HashAgg512Groups)->Unit(benchmark::kMillisecond);
+
+void BM_TopN100(benchmark::State& state) {
+  RunPlan(PlanNode::TopN(PlanNode::Scan("big", {"v"}), {{"v", false}}, 100),
+          state);
+}
+BENCHMARK(BM_TopN100)->Unit(benchmark::kMillisecond);
+
+// Matching + insertion cost as a function of recycler-graph size
+// (the Fig. 10 quantity, isolated).
+void BM_MatchAgainstGraph(benchmark::State& state) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kHistory;
+  cfg.cache_bytes = 0;
+  Recycler rec(SharedCatalog(), cfg);
+  // Pre-populate the graph with `range(0)` distinct select chains.
+  for (int i = 0; i < state.range(0); ++i) {
+    rec.Prepare(PlanNode::Select(
+        PlanNode::Scan("big", {"k", "v"}),
+        Expr::Eq(Expr::Column("k"), Expr::Literal(int64_t{i}))));
+  }
+  PlanPtr probe = PlanNode::Select(
+      PlanNode::Scan("big", {"k", "v"}),
+      Expr::Eq(Expr::Column("k"), Expr::Literal(int64_t{0})));
+  for (auto _ : state) {
+    auto prepared = rec.Prepare(probe->CloneShallow());
+    benchmark::DoNotOptimize(prepared);
+  }
+}
+BENCHMARK(BM_MatchAgainstGraph)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PlanFingerprint(benchmark::State& state) {
+  PlanPtr plan = PlanNode::Aggregate(
+      PlanNode::Select(
+          PlanNode::Scan("big", {"k", "g", "v"}),
+          Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(10.0)),
+                    Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{99})))),
+      {"g"}, {{AggFunc::kSum, Expr::Column("v"), "sv"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->ParamFingerprint(nullptr));
+    benchmark::DoNotOptimize(plan->HashKey());
+    benchmark::DoNotOptimize(plan->Signature());
+  }
+}
+BENCHMARK(BM_PlanFingerprint);
+
+}  // namespace
+}  // namespace recycledb
+
+BENCHMARK_MAIN();

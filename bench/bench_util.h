@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "recycler/recycler.h"
+#include "tpch/dbgen.h"
+#include "tpch/qgen.h"
+#include "workload/driver.h"
+
+namespace recycledb {
+namespace bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  int64_t x = std::atoll(v);
+  return x > 0 ? x : fallback;
+}
+
+/// Builds the TPC-H stream specs for `num_streams` streams. Seeded by
+/// stream id so every mode sees the identical workload.
+inline std::vector<workload::StreamSpec> MakeTpchStreams(int num_streams,
+                                                         double sf,
+                                                         uint64_t seed = 77) {
+  std::vector<workload::StreamSpec> streams;
+  streams.reserve(num_streams);
+  for (int s = 0; s < num_streams; ++s) {
+    Rng rng(seed + static_cast<uint64_t>(s) * 1000003ULL);
+    workload::StreamSpec spec;
+    for (const auto& q : tpch::GenerateStream(s, &rng, sf)) {
+      spec.labels.push_back("Q" + std::to_string(q.query));
+      spec.plans.push_back(tpch::BuildQuery(q.query, q.params, sf));
+    }
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
+inline Recycler MakeRecycler(const Catalog* catalog, RecyclerMode mode,
+                             int64_t cache_bytes = 256ll << 20) {
+  RecyclerConfig cfg;
+  cfg.mode = mode;
+  cfg.cache_bytes = cache_bytes;
+  return Recycler(catalog, cfg);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace recycledb

@@ -1,0 +1,39 @@
+// Fatal-check macros for internal invariants.
+//
+// Following the Google style guide we do not use exceptions for control
+// flow; violated engine invariants abort with a diagnostic. Recoverable
+// errors use Status (see status.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RDB_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RDB_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RDB_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RDB_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RDB_UNREACHABLE(msg)                                               \
+  do {                                                                     \
+    std::fprintf(stderr, "RDB_UNREACHABLE at %s:%d: %s\n", __FILE__,       \
+                 __LINE__, (msg));                                         \
+    std::abort();                                                          \
+  } while (0)
+
+// Disallow copy & assign, per Google C++ style.
+#define RDB_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete

@@ -1,0 +1,83 @@
+// Minimal Status type for recoverable errors at API boundaries.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace recycledb {
+
+/// Error codes for recoverable failures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// A lightweight success/error result carrying a code and message.
+/// Modeled after (a small subset of) arrow::Status / absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+#define RDB_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::recycledb::Status _st = (expr);      \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace recycledb

@@ -1,0 +1,34 @@
+// Monotonic stopwatch for operator timing and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace recycledb {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace recycledb

@@ -1,0 +1,135 @@
+#include "exec/executor.h"
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "exec/operators.h"
+
+namespace recycledb {
+
+OperatorPtr Executor::BuildOperator(
+    const PlanPtr& plan,
+    const std::map<const PlanNode*, StoreRequest>* store_requests,
+    std::map<const PlanNode*, Operator*>* node_ops) {
+  RDB_CHECK_MSG(plan->bound(), "plan must be bound before execution");
+  OperatorPtr op;
+  switch (plan->type()) {
+    case OpType::kScan: {
+      TablePtr table = catalog_->GetTable(plan->table_name());
+      RDB_CHECK(table != nullptr);
+      std::vector<int> idx;
+      for (const auto& c : plan->scan_columns()) {
+        idx.push_back(table->schema().IndexOfChecked(c));
+      }
+      op = std::make_unique<ScanOp>(plan->output_schema(), table,
+                                    std::move(idx));
+      break;
+    }
+    case OpType::kCachedScan: {
+      const TablePtr& table = plan->cached_result();
+      std::vector<int> idx;
+      for (int i = 0; i < table->schema().num_fields(); ++i) idx.push_back(i);
+      op = std::make_unique<ScanOp>(plan->output_schema(), table,
+                                    std::move(idx));
+      break;
+    }
+    case OpType::kFunctionScan: {
+      const TableFunction* fn =
+          TableFunctionRegistry::Global().Get(plan->function_name());
+      RDB_CHECK(fn != nullptr);
+      op = std::make_unique<FunctionScanOp>(plan->output_schema(), fn,
+                                            plan->function_args(), catalog_);
+      break;
+    }
+    case OpType::kSelect: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<FilterOp>(plan->output_schema(), std::move(child),
+                                      plan->predicate());
+      break;
+    }
+    case OpType::kProject: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<ProjectOp>(plan->output_schema(), std::move(child),
+                                       plan->projections());
+      break;
+    }
+    case OpType::kAggregate: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<HashAggOp>(plan->output_schema(), std::move(child),
+                                       plan->group_by(), plan->aggregates());
+      break;
+    }
+    case OpType::kHashJoin: {
+      auto left = BuildOperator(plan->child(0), store_requests, node_ops);
+      auto right = BuildOperator(plan->child(1), store_requests, node_ops);
+      op = std::make_unique<HashJoinOp>(plan->output_schema(), std::move(left),
+                                        std::move(right), plan->join_kind(),
+                                        plan->left_keys(), plan->right_keys());
+      break;
+    }
+    case OpType::kOrderBy: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<SortOp>(plan->output_schema(), std::move(child),
+                                    plan->sort_keys());
+      break;
+    }
+    case OpType::kTopN: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<TopNOp>(plan->output_schema(), std::move(child),
+                                    plan->sort_keys(), plan->limit());
+      break;
+    }
+    case OpType::kLimit: {
+      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      op = std::make_unique<LimitOp>(plan->output_schema(), std::move(child),
+                                     plan->limit());
+      break;
+    }
+    case OpType::kUnionAll: {
+      std::vector<OperatorPtr> children;
+      for (const auto& c : plan->children()) {
+        children.push_back(BuildOperator(c, store_requests, node_ops));
+      }
+      op = std::make_unique<UnionAllOp>(plan->output_schema(),
+                                        std::move(children));
+      break;
+    }
+  }
+  if (node_ops != nullptr) (*node_ops)[plan.get()] = op.get();
+
+  if (store_requests != nullptr) {
+    auto it = store_requests->find(plan.get());
+    if (it != store_requests->end()) {
+      op = std::make_unique<StoreOp>(std::move(op), it->second);
+    }
+  }
+  return op;
+}
+
+ExecResult Executor::Run(
+    const PlanPtr& plan,
+    const std::map<const PlanNode*, StoreRequest>* store_requests) {
+  std::map<const PlanNode*, Operator*> node_ops;
+  OperatorPtr root = BuildOperator(plan, store_requests, &node_ops);
+
+  ExecResult result;
+  Stopwatch sw;
+  root->Open();
+  result.table = MakeTable(root->output_schema());
+  Batch batch;
+  while (root->NextTimed(&batch)) {
+    result.table->AppendBatch(batch);
+  }
+  root->Close();
+  result.total_ms = sw.ElapsedMs();
+
+  for (const auto& [node, op] : node_ops) {
+    NodeRuntime rt;
+    rt.stats = op->stats();
+    rt.inclusive_ms = op->stats().inclusive_ms;
+    rt.rows_out = op->stats().rows_out;
+    result.node_runtime[node] = rt;
+  }
+  return result;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,56 @@
+// Plan-to-operator builder and the query executor.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "exec/operator.h"
+#include "exec/store.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+
+namespace recycledb {
+
+/// Per-plan-node run-time measurements, keyed by plan node pointer.
+/// The recycler uses these to annotate the recycler graph after the query.
+struct NodeRuntime {
+  OpStats stats;
+  double inclusive_ms = 0;
+  int64_t rows_out = 0;
+};
+
+/// Result of executing a plan.
+struct ExecResult {
+  TablePtr table;
+  double total_ms = 0;
+  /// One entry per plan node of the executed plan.
+  std::map<const PlanNode*, NodeRuntime> node_runtime;
+};
+
+/// Builds physical operator trees from bound plans and runs them.
+///
+/// `store_requests` maps plan nodes to store configurations injected by
+/// the recycler's rewrite rules; the builder wraps those nodes' operators
+/// in StoreOps. Executor is stateless and thread-compatible: concurrent
+/// Run() calls on the same Executor are safe (the catalog is read-only
+/// during execution).
+class Executor {
+ public:
+  explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Builds the operator tree for `plan` (bound) and drains it.
+  ExecResult Run(const PlanPtr& plan,
+                 const std::map<const PlanNode*, StoreRequest>*
+                     store_requests = nullptr);
+
+  /// Builds without running (exposed for tests).
+  OperatorPtr BuildOperator(
+      const PlanPtr& plan,
+      const std::map<const PlanNode*, StoreRequest>* store_requests,
+      std::map<const PlanNode*, Operator*>* node_ops);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace recycledb

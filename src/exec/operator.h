@@ -1,0 +1,84 @@
+// Physical operator interface for the pull-based vector-at-a-time engine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+/// Runtime statistics collected per operator, consumed by the recycler to
+/// annotate recycler-graph nodes after the query finishes (§II "each
+/// operator annotates its equivalent node in the recycler graph with
+/// measured run-time parameters").
+struct OpStats {
+  int64_t rows_out = 0;
+  int64_t batches_out = 0;
+  /// Inclusive wall time spent producing this operator's output, i.e. the
+  /// paper's measured base cost of the subtree rooted here (children are
+  /// pulled from inside Next(), so their time is included).
+  double inclusive_ms = 0;
+};
+
+/// Pull-based physical operator. Lifecycle: Open() once, Next() until it
+/// returns false, Close() once. Next() fills `out` with up to
+/// kDefaultBatchRows rows laid out per output_schema().
+class Operator {
+ public:
+  explicit Operator(Schema output_schema)
+      : output_schema_(std::move(output_schema)) {}
+  virtual ~Operator() = default;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+  virtual void Open() = 0;
+  /// Produces the next batch; returns false when exhausted (out is empty).
+  virtual bool Next(Batch* out) = 0;
+  virtual void Close() = 0;
+
+  /// Fraction of this operator's output already produced, in [0,1].
+  /// Scans and blocking operators know it exactly; pipelined operators
+  /// report the progress of their left-deep scan/blocking descendant
+  /// (the paper's progress-meter rule, after [13]).
+  virtual double Progress() const = 0;
+
+  const OpStats& stats() const { return stats_; }
+
+  /// Timed Next wrapper: accumulates inclusive time + row counts.
+  bool NextTimed(Batch* out) {
+    Stopwatch sw;
+    bool more = Next(out);
+    stats_.inclusive_ms += sw.ElapsedMs();
+    if (more) {
+      stats_.rows_out += out->num_rows;
+      ++stats_.batches_out;
+    }
+    return more;
+  }
+
+ protected:
+  Schema output_schema_;
+  OpStats stats_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Allocates an output batch shaped like `schema`.
+inline void InitBatch(const Schema& schema, Batch* out) {
+  out->Clear();
+  out->columns.reserve(schema.num_fields());
+  for (const auto& f : schema.fields()) out->columns.push_back(MakeColumn(f.type));
+}
+
+/// Default value used to pad the build side of left-outer joins
+/// (the engine is NULL-free; see DESIGN.md).
+Datum PadValue(TypeId type);
+
+}  // namespace recycledb

@@ -1,0 +1,220 @@
+// Concrete physical operators: scans, filter, project, union, limit,
+// sort/top-N, hash aggregate, hash join.
+#pragma once
+
+#include <queue>
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "expr/aggregate.h"
+#include "plan/table_function.h"
+
+namespace recycledb {
+
+/// Base-table (or materialized-table) scan with column pruning.
+class ScanOp : public Operator {
+ public:
+  /// `table` must outlive the operator. `column_indices` selects and orders
+  /// the emitted columns.
+  ScanOp(Schema output_schema, TablePtr table, std::vector<int> column_indices);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override {}
+  double Progress() const override;
+
+ private:
+  TablePtr table_;
+  std::vector<int> column_indices_;
+  int64_t pos_ = 0;
+};
+
+/// Table-valued function scan: evaluates the function at Open, streams.
+class FunctionScanOp : public Operator {
+ public:
+  FunctionScanOp(Schema output_schema, const TableFunction* fn,
+                 std::vector<Datum> args, const Catalog* catalog);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override {}
+  double Progress() const override;
+
+ private:
+  const TableFunction* fn_;
+  std::vector<Datum> args_;
+  const Catalog* catalog_;
+  TablePtr result_;
+  int64_t pos_ = 0;
+};
+
+/// Filter: evaluates a predicate and gathers the selected rows.
+class FilterOp : public Operator {
+ public:
+  FilterOp(Schema output_schema, OperatorPtr child, ExprPtr predicate);
+
+  void Open() override { child_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override { return child_->Progress(); }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Project: computes expressions into a new column layout.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(Schema output_schema, OperatorPtr child,
+            std::vector<ProjItem> items);
+
+  void Open() override { child_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override { return child_->Progress(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProjItem> items_;
+};
+
+/// Limit: passes through the first N rows.
+class LimitOp : public Operator {
+ public:
+  LimitOp(Schema output_schema, OperatorPtr child, int64_t n);
+
+  void Open() override { child_->Open(); }
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+  int64_t n_;
+};
+
+/// Bag union: streams each child in order (positional columns).
+class UnionAllOp : public Operator {
+ public:
+  UnionAllOp(Schema output_schema, std::vector<OperatorPtr> children);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+  double Progress() const override;
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Full sort (blocking): materializes input, sorts boxed rows, streams.
+class SortOp : public Operator {
+ public:
+  SortOp(Schema output_schema, OperatorPtr child, std::vector<SortKey> keys);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override;
+
+ private:
+  void Consume();
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  TablePtr buffer_;
+  std::vector<int64_t> order_;
+  int64_t pos_ = 0;
+  bool consumed_ = false;
+};
+
+/// Heap-based top-N (the paper's topN operator: O(M log N), no full sort);
+/// output is emitted in sort order.
+class TopNOp : public Operator {
+ public:
+  TopNOp(Schema output_schema, OperatorPtr child, std::vector<SortKey> keys,
+         int64_t n);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override;
+
+ private:
+  void Consume();
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t n_;
+  TablePtr candidates_;        // rows currently in the heap
+  std::vector<int64_t> order_; // final sorted row order into candidates_
+  int64_t pos_ = 0;
+  bool consumed_ = false;
+};
+
+/// Hash aggregate (blocking). With empty group_by produces exactly one row.
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(Schema output_schema, OperatorPtr child,
+            std::vector<std::string> group_by, std::vector<AggItem> aggs);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override { child_->Close(); }
+  double Progress() const override;
+
+ private:
+  struct AggState {
+    double dsum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    Datum min_v;
+    Datum max_v;
+  };
+
+  void Consume();
+  int64_t FindOrCreateGroup(const Batch& batch,
+                            const std::vector<ColumnPtr>& key_cols,
+                            int64_t row, uint64_t hash);
+
+  OperatorPtr child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggItem> aggs_;
+  std::vector<int> group_idx_;              // group column indexes in child
+  std::vector<TypeId> agg_arg_types_;
+
+  TablePtr group_keys_;                     // one row per group
+  std::vector<std::vector<AggState>> states_;  // [agg][group]
+  std::unordered_multimap<uint64_t, int64_t> group_map_;
+  int64_t num_groups_ = 0;
+  int64_t pos_ = 0;
+  bool consumed_ = false;
+};
+
+/// Hash equi-join; the right child is the build side.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(Schema output_schema, OperatorPtr left, OperatorPtr right,
+             JoinKind kind, std::vector<std::string> left_keys,
+             std::vector<std::string> right_keys);
+
+  void Open() override;
+  bool Next(Batch* out) override;
+  void Close() override;
+  double Progress() const override { return left_->Progress(); }
+
+ private:
+  void Build();
+
+  OperatorPtr left_, right_;
+  JoinKind kind_;
+  std::vector<int> left_key_idx_, right_key_idx_;
+  TablePtr build_table_;
+  std::unordered_multimap<uint64_t, int64_t> build_map_;
+  bool built_ = false;
+};
+
+}  // namespace recycledb

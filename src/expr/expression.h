@@ -1,0 +1,137 @@
+// Scalar expression IR with a vectorized interpreter.
+//
+// Expressions are the parameters of Select/Project plan nodes; the recycler
+// matches them structurally via Fingerprint() under a query<->graph column
+// name mapping (see plan/fingerprint and recycler/matching).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Mapping from one column-name space to another (query tree names to
+/// recycler-graph names and back).
+using NameMap = std::map<std::string, std::string>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kColumnRef,  // reference to an input column by name
+  kLiteral,    // constant Datum
+  kCompare,    // = != < <= > >=
+  kLogical,    // AND OR NOT
+  kArith,      // + - * /
+  kFunc,       // named scalar function (year, month, bin, ...)
+  kCase,       // CASE WHEN c THEN a ELSE b END
+  kInList,     // e IN (v1, v2, ...)
+  kLike,       // string match: contains / prefix / suffix
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp : uint8_t { kAnd, kOr, kNot };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// String-match flavors for kLike (LIKE '%x%', 'x%', '%x').
+enum class LikeKind : uint8_t { kContains, kPrefix, kSuffix, kNotContains };
+
+/// An immutable scalar expression tree.
+///
+/// Build with the static factory functions; evaluate against a Batch with
+/// Eval() after checking/deducing types with DeduceType().
+class Expr : public std::enable_shared_from_this<Expr> {
+ public:
+  // ---- factories -----------------------------------------------------
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Datum value);
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr Case(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
+  static ExprPtr In(ExprPtr e, std::vector<Datum> values);
+  static ExprPtr Like(LikeKind kind, ExprPtr e, std::string pattern);
+
+  // Convenience comparison builders against literals.
+  static ExprPtr Eq(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kEq, l, r); }
+  static ExprPtr Ne(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kNe, l, r); }
+  static ExprPtr Lt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLt, l, r); }
+  static ExprPtr Le(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kLe, l, r); }
+  static ExprPtr Gt(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGt, l, r); }
+  static ExprPtr Ge(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kGe, l, r); }
+
+  // ---- accessors ------------------------------------------------------
+  ExprKind kind() const { return kind_; }
+  const std::string& column_name() const { return name_; }
+  const Datum& literal() const { return literal_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicalOp logical_op() const { return logical_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::string& func_name() const { return name_; }
+  LikeKind like_kind() const { return like_kind_; }
+  const std::string& like_pattern() const { return name_; }
+  const std::vector<Datum>& in_values() const { return in_values_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  // ---- analysis -------------------------------------------------------
+  /// Deduces the result type against `input`; RDB_CHECK-fails on unbound
+  /// columns or type errors. Pure (no caching), cheap.
+  TypeId DeduceType(const Schema& input) const;
+
+  /// Adds every referenced column name to `out`.
+  void CollectColumns(std::set<std::string>* out) const;
+
+  /// Canonical structural rendering. Column names are passed through
+  /// `mapping` when present (identity otherwise). Two expressions are
+  /// considered parameter-equal by the recycler iff fingerprints match.
+  /// With `anonymize_columns` every column ref renders as "c:?" — used for
+  /// name-space-independent hash keys.
+  std::string Fingerprint(const NameMap* mapping,
+                          bool anonymize_columns = false) const;
+
+  /// Returns a copy with column refs renamed through `mapping` (names
+  /// missing from the mapping are kept).
+  ExprPtr Rename(const NameMap& mapping) const;
+
+  // ---- evaluation -----------------------------------------------------
+  /// Vectorized evaluation over a batch laid out per `input`.
+  /// Returns a column of DeduceType(input) with batch.num_rows rows.
+  ColumnPtr Eval(const Batch& batch, const Schema& input) const;
+
+  /// Evaluates a predicate and returns the selected row indexes.
+  /// Expression must deduce to kBool.
+  std::vector<int32_t> EvalSelection(const Batch& batch,
+                                     const Schema& input) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::string name_;          // column name / func name / like pattern
+  Datum literal_;             // kLiteral payload
+  CompareOp compare_op_ = CompareOp::kEq;
+  LogicalOp logical_op_ = LogicalOp::kAnd;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  LikeKind like_kind_ = LikeKind::kContains;
+  std::vector<Datum> in_values_;
+  std::vector<ExprPtr> children_;
+};
+
+/// Splits a predicate into its top-level AND conjuncts.
+/// Used by the tuple-subsumption rule (cached conjunct-subset detection).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& pred);
+
+/// Rebuilds a conjunction from conjuncts (nullptr if empty).
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace recycledb

@@ -1,0 +1,497 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "plan/table_function.h"
+
+namespace recycledb {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kScan: return "Scan";
+    case OpType::kFunctionScan: return "FunctionScan";
+    case OpType::kSelect: return "Select";
+    case OpType::kProject: return "Project";
+    case OpType::kAggregate: return "Aggregate";
+    case OpType::kHashJoin: return "HashJoin";
+    case OpType::kOrderBy: return "OrderBy";
+    case OpType::kTopN: return "TopN";
+    case OpType::kLimit: return "Limit";
+    case OpType::kUnionAll: return "UnionAll";
+    case OpType::kCachedScan: return "CachedScan";
+  }
+  return "?";
+}
+
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner: return "inner";
+    case JoinKind::kLeftOuter: return "leftouter";
+    case JoinKind::kSemi: return "semi";
+    case JoinKind::kAnti: return "anti";
+    case JoinKind::kSingle: return "single";
+  }
+  return "?";
+}
+
+PlanPtr PlanNode::Scan(std::string table, std::vector<std::string> columns) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kScan;
+  p->table_ = std::move(table);
+  p->columns_ = std::move(columns);
+  return p;
+}
+
+PlanPtr PlanNode::FunctionScan(std::string function, std::vector<Datum> args) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kFunctionScan;
+  p->table_ = std::move(function);
+  p->args_ = std::move(args);
+  return p;
+}
+
+PlanPtr PlanNode::Select(PlanPtr child, ExprPtr predicate) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kSelect;
+  p->children_ = {std::move(child)};
+  p->predicate_ = std::move(predicate);
+  return p;
+}
+
+PlanPtr PlanNode::Project(PlanPtr child, std::vector<ProjItem> items) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kProject;
+  p->children_ = {std::move(child)};
+  p->projections_ = std::move(items);
+  return p;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                            std::vector<AggItem> aggregates) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kAggregate;
+  p->children_ = {std::move(child)};
+  p->group_by_ = std::move(group_by);
+  p->aggregates_ = std::move(aggregates);
+  return p;
+}
+
+PlanPtr PlanNode::HashJoin(PlanPtr left, PlanPtr right, JoinKind kind,
+                           std::vector<std::string> left_keys,
+                           std::vector<std::string> right_keys) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kHashJoin;
+  p->children_ = {std::move(left), std::move(right)};
+  p->join_kind_ = kind;
+  p->left_keys_ = std::move(left_keys);
+  p->right_keys_ = std::move(right_keys);
+  return p;
+}
+
+PlanPtr PlanNode::OrderBy(PlanPtr child, std::vector<SortKey> keys) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kOrderBy;
+  p->children_ = {std::move(child)};
+  p->sort_keys_ = std::move(keys);
+  return p;
+}
+
+PlanPtr PlanNode::TopN(PlanPtr child, std::vector<SortKey> keys, int64_t n) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kTopN;
+  p->children_ = {std::move(child)};
+  p->sort_keys_ = std::move(keys);
+  p->limit_ = n;
+  return p;
+}
+
+PlanPtr PlanNode::Limit(PlanPtr child, int64_t n) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kLimit;
+  p->children_ = {std::move(child)};
+  p->limit_ = n;
+  return p;
+}
+
+PlanPtr PlanNode::UnionAll(std::vector<PlanPtr> children) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kUnionAll;
+  p->children_ = std::move(children);
+  return p;
+}
+
+PlanPtr PlanNode::CachedScan(TablePtr result,
+                             std::vector<std::string> column_names) {
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kCachedScan;
+  p->cached_ = std::move(result);
+  p->columns_ = std::move(column_names);
+  return p;
+}
+
+const Schema& PlanNode::output_schema() const {
+  RDB_CHECK_MSG(bound_, "plan node not bound");
+  return output_schema_;
+}
+
+void PlanNode::Bind(const Catalog& catalog) {
+  if (bound_) return;
+  for (auto& c : children_) c->Bind(catalog);
+  base_tables_.clear();
+  for (const auto& c : children_) {
+    base_tables_.insert(c->base_tables_.begin(), c->base_tables_.end());
+  }
+  switch (type_) {
+    case OpType::kScan: {
+      TablePtr t = catalog.GetTable(table_);
+      RDB_CHECK_MSG(t != nullptr, ("unknown table: " + table_).c_str());
+      std::vector<Field> fields;
+      for (const auto& col : columns_) {
+        int idx = t->schema().IndexOfChecked(col);
+        fields.push_back(t->schema().field(idx));
+      }
+      output_schema_ = Schema(std::move(fields));
+      base_tables_.insert(table_);
+      break;
+    }
+    case OpType::kFunctionScan: {
+      const TableFunction* fn = TableFunctionRegistry::Global().Get(table_);
+      RDB_CHECK_MSG(fn != nullptr, ("unknown function: " + table_).c_str());
+      output_schema_ = fn->schema_fn(args_);
+      base_tables_.insert(fn->base_tables.begin(), fn->base_tables.end());
+      break;
+    }
+    case OpType::kSelect: {
+      TypeId t = predicate_->DeduceType(children_[0]->output_schema());
+      RDB_CHECK_MSG(t == TypeId::kBool, "selection predicate must be bool");
+      output_schema_ = children_[0]->output_schema();
+      break;
+    }
+    case OpType::kProject: {
+      const Schema& in = children_[0]->output_schema();
+      std::vector<Field> fields;
+      for (const auto& item : projections_) {
+        fields.push_back({item.out_name, item.expr->DeduceType(in)});
+      }
+      output_schema_ = Schema(std::move(fields));
+      break;
+    }
+    case OpType::kAggregate: {
+      const Schema& in = children_[0]->output_schema();
+      std::vector<Field> fields;
+      for (const auto& g : group_by_) {
+        fields.push_back(in.field(in.IndexOfChecked(g)));
+      }
+      for (const auto& a : aggregates_) {
+        TypeId arg_type = a.arg->DeduceType(in);
+        fields.push_back({a.out_name, AggResultType(a.fn, arg_type)});
+      }
+      output_schema_ = Schema(std::move(fields));
+      break;
+    }
+    case OpType::kHashJoin: {
+      const Schema& l = children_[0]->output_schema();
+      const Schema& r = children_[1]->output_schema();
+      RDB_CHECK(left_keys_.size() == right_keys_.size() &&
+                !left_keys_.empty());
+      for (size_t i = 0; i < left_keys_.size(); ++i) {
+        l.IndexOfChecked(left_keys_[i]);
+        r.IndexOfChecked(right_keys_[i]);
+      }
+      std::vector<Field> fields = l.fields();
+      if (join_kind_ == JoinKind::kInner ||
+          join_kind_ == JoinKind::kLeftOuter ||
+          join_kind_ == JoinKind::kSingle) {
+        for (const auto& f : r.fields()) {
+          RDB_CHECK_MSG(!l.Has(f.name),
+                        ("duplicate join output column: " + f.name).c_str());
+          fields.push_back(f);
+        }
+      }
+      output_schema_ = Schema(std::move(fields));
+      break;
+    }
+    case OpType::kOrderBy:
+    case OpType::kTopN: {
+      const Schema& in = children_[0]->output_schema();
+      for (const auto& k : sort_keys_) in.IndexOfChecked(k.column);
+      output_schema_ = in;
+      break;
+    }
+    case OpType::kLimit:
+      output_schema_ = children_[0]->output_schema();
+      break;
+    case OpType::kUnionAll: {
+      RDB_CHECK(!children_.empty());
+      const Schema& first = children_[0]->output_schema();
+      for (const auto& c : children_) {
+        const Schema& s = c->output_schema();
+        RDB_CHECK_MSG(s.num_fields() == first.num_fields(),
+                      "union children arity mismatch");
+        for (int i = 0; i < s.num_fields(); ++i) {
+          RDB_CHECK_MSG(s.field(i).type == first.field(i).type,
+                        "union children type mismatch");
+        }
+      }
+      output_schema_ = first;
+      break;
+    }
+    case OpType::kCachedScan: {
+      RDB_CHECK(cached_ != nullptr);
+      RDB_CHECK(static_cast<int>(columns_.size()) ==
+                cached_->schema().num_fields());
+      std::vector<Field> fields;
+      for (int i = 0; i < cached_->schema().num_fields(); ++i) {
+        fields.push_back({columns_[i], cached_->schema().field(i).type});
+      }
+      output_schema_ = Schema(std::move(fields));
+      break;
+    }
+  }
+  bound_ = true;
+}
+
+namespace {
+std::string MapName(const std::string& name, const NameMap* mapping) {
+  if (mapping != nullptr) {
+    auto it = mapping->find(name);
+    if (it != mapping->end()) return it->second;
+  }
+  return name;
+}
+}  // namespace
+
+std::string PlanNode::ParamFingerprint(const NameMap* mapping) const {
+  switch (type_) {
+    case OpType::kScan:
+      return "scan:" + table_ + ":[" + Join(columns_, ",") + "]";
+    case OpType::kFunctionScan: {
+      std::string out = "fscan:" + table_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += DatumToString(args_[i]);
+      }
+      return out + ")";
+    }
+    case OpType::kSelect:
+      return "select:" + predicate_->Fingerprint(mapping);
+    case OpType::kProject: {
+      std::string out = "project:[";
+      for (size_t i = 0; i < projections_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += projections_[i].expr->Fingerprint(mapping);
+      }
+      return out + "]";
+    }
+    case OpType::kAggregate: {
+      std::string out = "agg:[";
+      for (size_t i = 0; i < group_by_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += MapName(group_by_[i], mapping);
+      }
+      out += "]:[";
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += aggregates_[i].Fingerprint(mapping);
+      }
+      return out + "]";
+    }
+    case OpType::kHashJoin: {
+      std::string out = "join:";
+      out += JoinKindName(join_kind_);
+      out += ":[";
+      for (size_t i = 0; i < left_keys_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += MapName(left_keys_[i], mapping);
+      }
+      out += "]=[";
+      for (size_t i = 0; i < right_keys_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += MapName(right_keys_[i], mapping);
+      }
+      return out + "]";
+    }
+    case OpType::kOrderBy:
+    case OpType::kTopN: {
+      std::string out = type_ == OpType::kTopN
+                            ? StrFormat("topn:%lld:[", (long long)limit_)
+                            : "sort:[";
+      for (size_t i = 0; i < sort_keys_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += MapName(sort_keys_[i].column, mapping);
+        out += sort_keys_[i].ascending ? "+" : "-";
+      }
+      return out + "]";
+    }
+    case OpType::kLimit:
+      return StrFormat("limit:%lld", (long long)limit_);
+    case OpType::kUnionAll:
+      return "union";
+    case OpType::kCachedScan:
+      return "cachedscan";
+  }
+  RDB_UNREACHABLE("bad op type");
+}
+
+uint64_t PlanNode::HashKey() const {
+  uint64_t h = HashMix(static_cast<uint64_t>(type_) + 1);
+  switch (type_) {
+    case OpType::kScan:
+      h = HashCombine(h, HashString(table_));
+      break;
+    case OpType::kFunctionScan: {
+      h = HashCombine(h, HashString(table_));
+      for (const auto& a : args_) {
+        h = HashCombine(h, HashString(DatumToString(a)));
+      }
+      break;
+    }
+    case OpType::kSelect:
+      // Shape + literals, column names anonymized (they live in different
+      // name spaces on the query vs graph side).
+      h = HashCombine(h, HashString(predicate_->Fingerprint(nullptr, true)));
+      break;
+    case OpType::kProject:
+      h = HashCombine(h, HashMix(projections_.size()));
+      break;
+    case OpType::kAggregate: {
+      h = HashCombine(h, HashMix(group_by_.size()));
+      for (const auto& a : aggregates_) {
+        h = HashCombine(h, HashString(AggFuncName(a.fn)));
+      }
+      break;
+    }
+    case OpType::kHashJoin:
+      h = HashCombine(h, HashMix(static_cast<uint64_t>(join_kind_) * 31 +
+                                 left_keys_.size()));
+      break;
+    case OpType::kOrderBy:
+    case OpType::kTopN:
+      h = HashCombine(h, HashMix(sort_keys_.size() * 131 +
+                                 static_cast<uint64_t>(limit_)));
+      break;
+    case OpType::kLimit:
+      h = HashCombine(h, HashMix(static_cast<uint64_t>(limit_)));
+      break;
+    case OpType::kUnionAll:
+    case OpType::kCachedScan:
+      break;
+  }
+  return h;
+}
+
+std::set<std::string> PlanNode::ParamInputColumns() const {
+  std::set<std::string> cols;
+  switch (type_) {
+    case OpType::kScan:
+    case OpType::kCachedScan:
+      cols.insert(columns_.begin(), columns_.end());
+      break;
+    case OpType::kFunctionScan:
+      break;
+    case OpType::kSelect:
+      predicate_->CollectColumns(&cols);
+      break;
+    case OpType::kProject:
+      for (const auto& p : projections_) p.expr->CollectColumns(&cols);
+      break;
+    case OpType::kAggregate:
+      cols.insert(group_by_.begin(), group_by_.end());
+      for (const auto& a : aggregates_) a.arg->CollectColumns(&cols);
+      break;
+    case OpType::kHashJoin:
+      cols.insert(left_keys_.begin(), left_keys_.end());
+      cols.insert(right_keys_.begin(), right_keys_.end());
+      break;
+    case OpType::kOrderBy:
+    case OpType::kTopN:
+      for (const auto& k : sort_keys_) cols.insert(k.column);
+      break;
+    case OpType::kLimit:
+    case OpType::kUnionAll:
+      break;
+  }
+  return cols;
+}
+
+uint64_t PlanNode::Signature() const {
+  uint64_t sig = 0;
+  for (const auto& c : ParamInputColumns()) sig |= ColumnSignatureBit(c);
+  return sig;
+}
+
+std::vector<std::string> PlanNode::NewNames() const {
+  std::vector<std::string> names;
+  switch (type_) {
+    case OpType::kProject:
+      for (const auto& p : projections_) names.push_back(p.out_name);
+      break;
+    case OpType::kAggregate:
+      for (const auto& a : aggregates_) names.push_back(a.out_name);
+      break;
+    case OpType::kFunctionScan:
+      RDB_CHECK_MSG(bound_, "FunctionScan::NewNames requires bound plan");
+      for (const auto& f : output_schema_.fields()) names.push_back(f.name);
+      break;
+    default:
+      break;
+  }
+  return names;
+}
+
+std::string PlanNode::TreeFingerprint() const {
+  std::string out = ParamFingerprint(nullptr);
+  if (!children_.empty()) {
+    out += "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += ";";
+      out += children_[i]->TreeFingerprint();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+PlanPtr PlanNode::CloneShallow() const {
+  PlanPtr p(new PlanNode(*this));
+  p->bound_ = false;
+  return p;
+}
+
+PlanPtr PlanNode::WithChildren(std::vector<PlanPtr> new_children) const {
+  PlanPtr p = CloneShallow();
+  p->children_ = std::move(new_children);
+  return p;
+}
+
+PlanPtr PlanNode::CloneParamsRenamed(const NameMap& mapping) const {
+  PlanPtr p = CloneShallow();
+  p->children_.clear();
+  auto map_name = [&mapping](std::string* name) {
+    auto it = mapping.find(*name);
+    if (it != mapping.end()) *name = it->second;
+  };
+  if (p->predicate_ != nullptr) p->predicate_ = p->predicate_->Rename(mapping);
+  for (auto& item : p->projections_) item.expr = item.expr->Rename(mapping);
+  for (auto& g : p->group_by_) map_name(&g);
+  for (auto& a : p->aggregates_) a.arg = a.arg->Rename(mapping);
+  for (auto& k : p->left_keys_) map_name(&k);
+  for (auto& k : p->right_keys_) map_name(&k);
+  for (auto& k : p->sort_keys_) map_name(&k.column);
+  return p;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  os << std::string(indent * 2, ' ') << OpTypeName(type_) << " "
+     << ParamFingerprint(nullptr);
+  if (bound_) os << " => " << output_schema_.ToString();
+  os << "\n";
+  for (const auto& c : children_) os << c->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace recycledb

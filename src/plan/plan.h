@@ -1,0 +1,189 @@
+// Logical plan IR: the optimized operator trees the recycler graph indexes.
+//
+// A PlanNode is a relational operator plus its parameters (the paper's
+// "node representing a relational algebraic operator and its parameters").
+// Plans are built by the workload generators (we play the role of the
+// optimizer: plans are already decorrelated and pushed down), bound against
+// a Catalog, then handed to Recycler::Prepare which matches them against
+// the recycler graph and rewrites them for reuse / materialization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/expression.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+/// Relational operator types.
+enum class OpType : uint8_t {
+  kScan,          // base-table scan with column pruning
+  kFunctionScan,  // table-valued function (SkyServer fGetNearbyObjEq)
+  kSelect,        // filter by predicate
+  kProject,       // compute expressions, assign output names
+  kAggregate,     // hash group-by + aggregates (global agg if no groups)
+  kHashJoin,      // equi-join; right child is the build side
+  kOrderBy,       // full sort
+  kTopN,          // heap-based top-N, output sorted
+  kLimit,         // first N rows
+  kUnionAll,      // bag union of union-compatible children
+  kCachedScan,    // physical-only: scan of a recycler-cache result
+};
+
+const char* OpTypeName(OpType type);
+
+/// Join flavors. For kSemi/kAnti only left columns are produced.
+/// kSingle is an inner join that RDB_CHECKs the build side has at most one
+/// match per probe row (decorrelated scalar subqueries).
+enum class JoinKind : uint8_t { kInner, kLeftOuter, kSemi, kAnti, kSingle };
+
+const char* JoinKindName(JoinKind kind);
+
+/// Sort specification for kOrderBy/kTopN.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// One computed output column of a kProject.
+struct ProjItem {
+  ExprPtr expr;
+  std::string out_name;
+};
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// A logical plan operator.
+///
+/// Only the fields relevant to `type` are meaningful. Nodes are mutable
+/// while a plan is being constructed/rewritten and must be treated as
+/// immutable once handed to the recycler (rewrites clone).
+class PlanNode {
+ public:
+  // ---- factories ------------------------------------------------------
+  static PlanPtr Scan(std::string table, std::vector<std::string> columns);
+  static PlanPtr FunctionScan(std::string function, std::vector<Datum> args);
+  static PlanPtr Select(PlanPtr child, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr child, std::vector<ProjItem> items);
+  static PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
+                           std::vector<AggItem> aggregates);
+  static PlanPtr HashJoin(PlanPtr left, PlanPtr right, JoinKind kind,
+                          std::vector<std::string> left_keys,
+                          std::vector<std::string> right_keys);
+  static PlanPtr OrderBy(PlanPtr child, std::vector<SortKey> keys);
+  static PlanPtr TopN(PlanPtr child, std::vector<SortKey> keys, int64_t n);
+  static PlanPtr Limit(PlanPtr child, int64_t n);
+  static PlanPtr UnionAll(std::vector<PlanPtr> children);
+  /// A scan over an already-materialized result. `column_names` renames the
+  /// result's columns into the names this plan position expects.
+  static PlanPtr CachedScan(TablePtr result,
+                            std::vector<std::string> column_names);
+
+  // ---- accessors --------------------------------------------------------
+  OpType type() const { return type_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  PlanPtr child(int i = 0) const { return children_[i]; }
+  int num_children() const { return static_cast<int>(children_.size()); }
+
+  const std::string& table_name() const { return table_; }
+  const std::vector<std::string>& scan_columns() const { return columns_; }
+  const std::string& function_name() const { return table_; }
+  const std::vector<Datum>& function_args() const { return args_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<ProjItem>& projections() const { return projections_; }
+  const std::vector<std::string>& group_by() const { return group_by_; }
+  const std::vector<AggItem>& aggregates() const { return aggregates_; }
+  JoinKind join_kind() const { return join_kind_; }
+  const std::vector<std::string>& left_keys() const { return left_keys_; }
+  const std::vector<std::string>& right_keys() const { return right_keys_; }
+  const std::vector<SortKey>& sort_keys() const { return sort_keys_; }
+  int64_t limit() const { return limit_; }
+  const TablePtr& cached_result() const { return cached_; }
+
+  bool bound() const { return bound_; }
+  const Schema& output_schema() const;
+
+  /// Base tables this subtree reads (set at Bind; used for invalidation).
+  const std::set<std::string>& base_tables() const { return base_tables_; }
+
+  // ---- binding ----------------------------------------------------------
+  /// Resolves output schemas bottom-up and validates column references.
+  /// Idempotent. RDB_CHECK-fails on invalid plans (programmer error: plans
+  /// are produced by our own generators).
+  void Bind(const Catalog& catalog);
+
+  // ---- recycler support ---------------------------------------------------
+  /// Fingerprint of this node's *parameters only* (not children), with
+  /// column names translated through `mapping` (query -> graph space).
+  /// Two nodes with equal op type, equal parameter fingerprints and
+  /// exactly-matching children are bisimilar (the paper's exact match).
+  std::string ParamFingerprint(const NameMap* mapping) const;
+
+  /// Hash key for candidate lookup: cheap characteristics that must match
+  /// exactly (op type + shallow parameters). Collisions are resolved by
+  /// ParamFingerprint comparison.
+  uint64_t HashKey() const;
+
+  /// Column names referenced by this node's parameters (predicate columns,
+  /// join keys, group-by columns, ...). These are the names the matcher
+  /// translates through name mappings; signatures are derived from them.
+  std::set<std::string> ParamInputColumns() const;
+
+  /// Column-bitmask signature over ParamInputColumns() (unmapped names).
+  uint64_t Signature() const;
+
+  /// Output column names (query space) that this node newly assigns
+  /// (project/aggregate outputs). Pass-through names are not included.
+  std::vector<std::string> NewNames() const;
+
+  /// Full-subtree structural fingerprint (no name mapping); used by tests
+  /// and by the keep-all baseline's direct result matching.
+  std::string TreeFingerprint() const;
+
+  /// Shallow copy (children shared). Clears binding on the copy.
+  PlanPtr CloneShallow() const;
+
+  /// Shallow copy with `children` substituted (used by rewrites).
+  PlanPtr WithChildren(std::vector<PlanPtr> new_children) const;
+
+  /// Childless copy with every column reference in the parameters renamed
+  /// through `mapping` (query space -> graph space). Stored inside
+  /// recycler-graph nodes so subsumption/proactive logic can inspect
+  /// parameters in graph name space.
+  PlanPtr CloneParamsRenamed(const NameMap& mapping) const;
+
+  /// Pretty multi-line plan rendering.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  PlanNode() = default;
+
+  OpType type_ = OpType::kScan;
+  std::vector<PlanPtr> children_;
+
+  std::string table_;                  // scan table / function name
+  std::vector<std::string> columns_;   // scan column list / cached col names
+  std::vector<Datum> args_;            // function args
+  ExprPtr predicate_;                  // select
+  std::vector<ProjItem> projections_;  // project
+  std::vector<std::string> group_by_;  // aggregate
+  std::vector<AggItem> aggregates_;    // aggregate
+  JoinKind join_kind_ = JoinKind::kInner;
+  std::vector<std::string> left_keys_, right_keys_;
+  std::vector<SortKey> sort_keys_;
+  int64_t limit_ = 0;
+  TablePtr cached_;
+
+  bool bound_ = false;
+  Schema output_schema_;
+  std::set<std::string> base_tables_;
+};
+
+}  // namespace recycledb

@@ -1,0 +1,27 @@
+#include "plan/table_function.h"
+
+namespace recycledb {
+
+TableFunctionRegistry& TableFunctionRegistry::Global() {
+  static TableFunctionRegistry* registry = new TableFunctionRegistry();
+  return *registry;
+}
+
+void TableFunctionRegistry::Register(TableFunction fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = fns_[fn.name];
+  if (slot == nullptr) {
+    slot = std::make_unique<TableFunction>(std::move(fn));
+  } else {
+    *slot = std::move(fn);
+  }
+}
+
+const TableFunction* TableFunctionRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace recycledb

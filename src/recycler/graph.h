@@ -1,0 +1,186 @@
+// The recycler graph: an AND-DAG of relational operators unifying all past
+// optimized query plans (§II, §III-A/B of the paper).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+/// Materialization state of a recycler-graph node's result.
+enum class MatState : uint8_t {
+  kNone,      // not materialized
+  kInFlight,  // some query is currently computing + materializing it
+  kCached,    // result available in the recycler cache
+};
+
+/// A node of the recycler graph: one relational operator with parameters,
+/// annotated with reference statistics and its cached result (if any).
+///
+/// Column names inside the node (its parameter fingerprint, its
+/// output_names) live in the *graph name space*: names newly assigned by
+/// the operator are suffixed "#<node id>" so different queries assigning
+/// the same alias never collide (the paper appends a query identifier).
+struct RGNode {
+  int64_t id = 0;
+  OpType type = OpType::kScan;
+
+  /// Parameter fingerprint in graph name space (exact-match identity
+  /// together with `type` and `children`).
+  std::string param_fp;
+  uint64_t hash_key = 0;
+  uint64_t signature = 0;
+
+  std::vector<RGNode*> children;
+  /// Parent hash index (the paper's "small hash-indexes attached to each
+  /// node"): hash_key -> parent node.
+  std::unordered_multimap<uint64_t, RGNode*> parents;
+
+  /// A childless copy of the defining plan node with all column references
+  /// renamed to graph space. Keeps the parameters (predicates, group-by
+  /// lists, aggregate items...) inspectable for subsumption and rewrites.
+  PlanPtr param_node;
+
+  /// Output column names in graph space, positionally matching the
+  /// defining plan node's output schema.
+  std::vector<std::string> output_names;
+  /// Output column types (positional).
+  std::vector<TypeId> output_types;
+
+  /// Base tables under this subtree (for update invalidation).
+  std::set<std::string> base_tables;
+
+  /// Subsumption edges: nodes whose result this node's result can derive
+  /// (most-specific only; transitive relationships follow the edges).
+  std::vector<RGNode*> subsumes;
+
+  // --- statistics (guarded by the graph lock) -------------------------
+  /// Measured cost to compute this result from base tables (Eq. 2 input).
+  double bcost_ms = 0;
+  bool has_bcost = false;
+  /// Measured output cardinality (last run).
+  int64_t rows = -1;
+  /// Estimated / measured result footprint in bytes.
+  double size_bytes = 0;
+  bool has_size = false;
+  /// Importance factor h_R (Eq. 3/4), stored unaged; age with h_epoch.
+  double h = 0;
+  int64_t h_epoch = 0;
+  /// Query id that inserted this node (to exclude self-references when
+  /// bumping h, §III-C).
+  int64_t inserted_by = -1;
+  /// Total times a query exactly-matched this node (diagnostics).
+  int64_t match_count = 0;
+  /// Epoch of the last match/insert touching this node (drives
+  /// truncation: §II "removing subtrees that have not been accessed for
+  /// some time").
+  int64_t last_access_epoch = 0;
+  /// Leaf-index key (empty for non-leaves); needed to unregister on
+  /// truncation.
+  std::string leaf_key;
+
+  // --- materialization state ------------------------------------------
+  /// Atomic because the speculation-abort path flips it to kNone without
+  /// the graph lock; transitions signal the graph's mat condvar.
+  std::atomic<MatState> mat_state{MatState::kNone};
+  TablePtr cached;  // column names are graph-space output_names
+  int64_t cached_bytes = 0;
+};
+
+/// Statistics snapshot of the graph (diagnostics & Fig. 10 bench).
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_leaves = 0;
+  int64_t num_cached = 0;
+  int64_t cached_bytes = 0;
+};
+
+/// The recycler graph container.
+///
+/// Concurrency: matching runs under a shared lock; insertions take the
+/// exclusive lock and *re-validate* the match candidates before inserting
+/// (the paper's backwards validation at node granularity, collapsed into
+/// revalidate-under-exclusive-lock: if an exactly matching node appeared
+/// since the shared-lock match, the insert aborts and adopts it).
+/// Materialization state transitions use a separate mutex + condvar so
+/// queries can stall on in-flight results without holding the graph lock.
+class RecyclerGraph {
+ public:
+  explicit RecyclerGraph(double aging_alpha = 1.0)
+      : aging_alpha_(aging_alpha) {}
+
+  // Non-copyable.
+  RecyclerGraph(const RecyclerGraph&) = delete;
+  RecyclerGraph& operator=(const RecyclerGraph&) = delete;
+
+  /// Shared lock guarding structure + statistics.
+  std::shared_mutex& mutex() { return mu_; }
+  /// Mutex + condvar guarding MatState transitions.
+  std::mutex& mat_mutex() { return mat_mu_; }
+  std::condition_variable& mat_cv() { return mat_cv_; }
+
+  /// Advances the aging epoch (call once per query invocation) and
+  /// returns the new epoch.
+  int64_t AdvanceEpoch() { return ++epoch_; }
+  int64_t epoch() const { return epoch_.load(); }
+  double aging_alpha() const { return aging_alpha_; }
+
+  /// h of `node` aged to the current epoch (Eq. 5, lazy). Caller holds a
+  /// lock on mutex().
+  double AgedH(const RGNode* node) const;
+
+  /// Folds pending aging into node->h and stamps the epoch. Caller holds
+  /// the exclusive lock.
+  void FoldAging(RGNode* node);
+
+  /// Leaf candidates for a scan/function-scan keyed by fingerprintable
+  /// identity (table name / function+args). Caller holds a lock.
+  std::vector<RGNode*> LeafCandidates(const std::string& leaf_key,
+                                      uint64_t hash_key) const;
+
+  /// Allocates a node (exclusive lock held by caller) and registers it in
+  /// the leaf index when it has no children.
+  RGNode* AddNode(std::unique_ptr<RGNode> node, const std::string& leaf_key);
+
+  /// Next node id (exclusive lock held by caller).
+  int64_t NextId() { return next_id_++; }
+
+  /// All nodes (shared lock held by caller); for diagnostics and tests.
+  const std::vector<std::unique_ptr<RGNode>>& nodes() const { return nodes_; }
+
+  /// Removes every node that (a) has not been accessed for at least
+  /// `idle_epochs` epochs, (b) is not cached or in flight, and (c) has no
+  /// surviving parents (subtrees are removed top-down so shared prefixes
+  /// still referenced by fresh parents are kept). Returns the number of
+  /// nodes removed. Caller holds the exclusive lock.
+  int64_t Truncate(int64_t idle_epochs);
+
+  GraphStats Stats() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::mutex mat_mu_;
+  std::condition_variable mat_cv_;
+
+  std::vector<std::unique_ptr<RGNode>> nodes_;
+  /// Global leaf hash table (the paper's "global hash table for
+  /// efficiently matching table scans"): leaf key -> nodes.
+  std::unordered_multimap<std::string, RGNode*> leaf_index_;
+
+  std::atomic<int64_t> epoch_{0};
+  int64_t next_id_ = 1;
+  double aging_alpha_;
+};
+
+}  // namespace recycledb

@@ -1,0 +1,778 @@
+#include "recycler/recycler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "recycler/proactive.h"
+#include "recycler/subsumption.h"
+
+namespace recycledb {
+
+const char* RecyclerModeName(RecyclerMode mode) {
+  switch (mode) {
+    case RecyclerMode::kOff:
+      return "OFF";
+    case RecyclerMode::kHistory:
+      return "HIST";
+    case RecyclerMode::kSpeculation:
+      return "SPEC";
+    case RecyclerMode::kProactive:
+      return "PA";
+  }
+  return "?";
+}
+
+/// Matched-tree node: pairs each query plan node with its recycler-graph
+/// node and the accumulated query->graph name mapping.
+struct PreparedQuery::MNode {
+  const PlanNode* plan = nullptr;
+  PlanPtr plan_ref;
+  RGNode* gnode = nullptr;
+  bool inserted = false;   // inserted into the graph by this invocation
+  bool replaced = false;   // subtree replaced by a cached result
+  NameMap mapping;         // query -> graph names, valid at this output
+  /// Plan node actually present in the executed (rewritten) plan; null for
+  /// nodes inside replaced subtrees.
+  const PlanNode* exec_plan = nullptr;
+  std::vector<std::unique_ptr<MNode>> children;
+};
+
+PreparedQuery::PreparedQuery() = default;
+PreparedQuery::~PreparedQuery() = default;
+
+namespace {
+
+/// Estimated row width in bytes for size estimation (§III-C: measured
+/// cardinality x tuple width; strings estimated at 16 bytes).
+double EstRowWidth(const std::vector<TypeId>& types) {
+  double w = 0;
+  for (TypeId t : types) {
+    switch (t) {
+      case TypeId::kBool:
+        w += 1;
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        w += 4;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        w += 8;
+        break;
+      case TypeId::kString:
+        w += 16;
+        break;
+    }
+  }
+  return w;
+}
+
+uint64_t MappedSignature(const PlanNode& node, const NameMap& mapping) {
+  uint64_t sig = 0;
+  for (const auto& c : node.ParamInputColumns()) {
+    auto it = mapping.find(c);
+    sig |= ColumnSignatureBit(it == mapping.end() ? c : it->second);
+  }
+  return sig;
+}
+
+/// Types whose results are worth caching. Base-table scans are excluded:
+/// their data already lives in the buffer pool and the copy would be pure
+/// overhead (the paper only materializes computed results).
+bool CacheableType(OpType type) {
+  return type != OpType::kScan && type != OpType::kCachedScan;
+}
+
+/// Operators the speculation rule targets: expected expensive with small
+/// results (§III-D: "final result of a query, or the result of an
+/// aggregation"). Table functions are included: the SkyServer workload's
+/// fGetNearbyObjEq is exactly the expensive-small case the paper's
+/// recycler materializes.
+bool SpeculationTargetType(OpType type) {
+  return type == OpType::kAggregate || type == OpType::kTopN ||
+         type == OpType::kOrderBy || type == OpType::kFunctionScan;
+}
+
+}  // namespace
+
+Recycler::Recycler(const Catalog* catalog, RecyclerConfig config)
+    : catalog_(catalog),
+      config_(config),
+      graph_(config.aging_alpha),
+      cache_(config.cache_bytes,
+             [this](const RGNode* n) { return BenefitOf(n); },
+             config.cache_policy),
+      executor_(catalog) {
+  RDB_CHECK(catalog != nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Benefit metric (Eq. 1 and 2)
+// ---------------------------------------------------------------------------
+
+double Recycler::TrueCost(const RGNode* node) const {
+  // DFS to the direct materialized descendants; their base cost is
+  // subtracted because the recycler would reuse them (Eq. 2).
+  double dmd_cost = 0;
+  std::unordered_set<const RGNode*> visited;
+  std::vector<const RGNode*> stack(node->children.begin(),
+                                   node->children.end());
+  while (!stack.empty()) {
+    const RGNode* n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    if (n->mat_state == MatState::kCached) {
+      dmd_cost += n->bcost_ms;
+      continue;  // stop at the first materialized node on each path
+    }
+    for (const RGNode* c : n->children) stack.push_back(c);
+  }
+  return std::max(0.0, node->bcost_ms - dmd_cost);
+}
+
+double Recycler::EstimatedSize(const RGNode* node) const {
+  if (node->has_size) return node->size_bytes;
+  if (node->rows >= 0) {
+    return std::max(1.0, static_cast<double>(node->rows) *
+                             EstRowWidth(node->output_types));
+  }
+  return 1 << 20;  // unknown: assume 1MB
+}
+
+double Recycler::BenefitOf(const RGNode* node) const {
+  double h = graph_.AgedH(node);
+  if (h <= 0) h = config_.speculation_h;
+  double size = std::max(1.0, EstimatedSize(node));
+  return TrueCost(node) * h / size;
+}
+
+// ---------------------------------------------------------------------------
+// Matching and insertion (§III-A, §III-B)
+// ---------------------------------------------------------------------------
+
+std::string Recycler::LeafKey(const PlanNode& node) {
+  if (node.type() == OpType::kScan) return "t:" + node.table_name();
+  if (node.type() == OpType::kFunctionScan) {
+    return "f:" + node.ParamFingerprint(nullptr);
+  }
+  return "";
+}
+
+RGNode* Recycler::MatchOne(const PlanNode& node,
+                           const std::vector<RGNode*>& child_g,
+                           const NameMap& mapping) const {
+  if (child_g.empty()) {
+    // Leaf: probe the global leaf hash table (Algorithm 1 lines 1-5).
+    for (RGNode* cand : graph_.LeafCandidates(LeafKey(node), node.HashKey())) {
+      if (cand->type == node.type() &&
+          cand->param_fp == node.ParamFingerprint(nullptr)) {
+        return cand;
+      }
+    }
+    return nullptr;
+  }
+  // Non-leaf: candidates are the parents of the first matched child
+  // (Algorithm 1 lines 8-13), pre-filtered by hash key and signature.
+  uint64_t sig = MappedSignature(node, mapping);
+  auto range = child_g[0]->parents.equal_range(node.HashKey());
+  for (auto it = range.first; it != range.second; ++it) {
+    RGNode* cand = it->second;
+    if (cand->type != node.type()) continue;
+    if (cand->signature != sig) continue;
+    if (cand->children.size() != child_g.size()) continue;
+    bool same_children = true;
+    for (size_t i = 0; i < child_g.size(); ++i) {
+      if (cand->children[i] != child_g[i]) {
+        same_children = false;
+        break;
+      }
+    }
+    if (!same_children) continue;
+    if (cand->param_fp != node.ParamFingerprint(&mapping)) continue;
+    return cand;
+  }
+  return nullptr;
+}
+
+RGNode* Recycler::InsertOne(const PlanNode& node,
+                            const std::vector<RGNode*>& child_g,
+                            NameMap* mapping, int64_t query_id) {
+  auto gnode = std::make_unique<RGNode>();
+  gnode->id = graph_.NextId();
+  gnode->type = node.type();
+  gnode->hash_key = node.HashKey();
+  gnode->signature = MappedSignature(node, *mapping);
+  gnode->param_fp = node.ParamFingerprint(mapping);
+  gnode->param_node = node.CloneParamsRenamed(*mapping);
+  gnode->children = child_g;
+  gnode->base_tables = node.base_tables();
+  gnode->inserted_by = query_id;
+  gnode->h_epoch = graph_.epoch();
+
+  // Output names: new names get the "#<id>" suffix (the paper appends a
+  // query-unique identifier); pass-through names keep their graph name.
+  std::vector<std::string> new_names = node.NewNames();
+  std::unordered_set<std::string> new_set(new_names.begin(), new_names.end());
+  const Schema& schema = node.output_schema();
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const std::string& q = schema.field(i).name;
+    std::string graph_name;
+    if (new_set.count(q) > 0) {
+      graph_name = q + "#" + std::to_string(gnode->id);
+      (*mapping)[q] = graph_name;
+    } else {
+      auto it = mapping->find(q);
+      graph_name = it == mapping->end() ? q : it->second;
+      (*mapping)[q] = graph_name;
+    }
+    gnode->output_names.push_back(graph_name);
+    gnode->output_types.push_back(schema.field(i).type);
+  }
+  return graph_.AddNode(std::move(gnode), LeafKey(node));
+}
+
+std::unique_ptr<Recycler::MNode> Recycler::MatchTree(const PlanPtr& plan) {
+  // Phase 1: optimistic matching under the shared lock.
+  struct Walker {
+    const Recycler* self;
+    std::unique_ptr<MNode> Walk(const PlanPtr& p) {
+      auto m = std::make_unique<MNode>();
+      m->plan = p.get();
+      m->plan_ref = p;
+      bool all_matched = true;
+      std::vector<RGNode*> child_g;
+      for (const auto& c : p->children()) {
+        auto cm = Walk(c);
+        if (cm->gnode == nullptr) {
+          all_matched = false;
+        } else {
+          child_g.push_back(cm->gnode);
+        }
+        m->children.push_back(std::move(cm));
+      }
+      if (!all_matched) return m;
+      // Merge child mappings.
+      for (const auto& cm : m->children) {
+        m->mapping.insert(cm->mapping.begin(), cm->mapping.end());
+      }
+      RGNode* g = self->MatchOne(*p, child_g, m->mapping);
+      if (g != nullptr) {
+        m->gnode = g;
+        // Extend the mapping across this node's outputs (positional).
+        const Schema& schema = p->output_schema();
+        for (int i = 0; i < schema.num_fields(); ++i) {
+          m->mapping[schema.field(i).name] = g->output_names[i];
+        }
+      }
+      return m;
+    }
+  };
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+  Walker w{this};
+  return w.Walk(plan);
+}
+
+void Recycler::InsertMissing(MNode* m, int64_t query_id) {
+  // Phase 2 (caller holds the exclusive lock): re-validate unmatched nodes
+  // (a concurrent query may have inserted them since phase 1 — the
+  // backwards-validation step of the paper's OCC scheme) and insert the
+  // rest.
+  if (m->gnode != nullptr) return;
+  std::vector<RGNode*> child_g;
+  for (auto& cm : m->children) {
+    InsertMissing(cm.get(), query_id);
+    child_g.push_back(cm->gnode);
+  }
+  m->mapping.clear();
+  for (const auto& cm : m->children) {
+    m->mapping.insert(cm->mapping.begin(), cm->mapping.end());
+  }
+  RGNode* g = MatchOne(*m->plan, child_g, m->mapping);
+  if (g != nullptr) {
+    m->gnode = g;
+    m->inserted = false;
+    const Schema& schema = m->plan->output_schema();
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      m->mapping[schema.field(i).name] = g->output_names[i];
+    }
+    return;
+  }
+  m->gnode = InsertOne(*m->plan, child_g, &m->mapping, query_id);
+  m->inserted = true;
+}
+
+// ---------------------------------------------------------------------------
+// Importance factor maintenance (§III-C)
+// ---------------------------------------------------------------------------
+
+void Recycler::BumpImportance(MNode* m, bool has_materialized_ancestor) {
+  RGNode* g = m->gnode;
+  g->last_access_epoch = graph_.epoch();
+  if (!m->inserted && !has_materialized_ancestor) {
+    graph_.FoldAging(g);
+    g->h += 1;
+    ++g->match_count;
+  }
+  bool flag =
+      has_materialized_ancestor || g->mat_state == MatState::kCached;
+  for (auto& c : m->children) BumpImportance(c.get(), flag);
+}
+
+void Recycler::UpdateHrChildren(RGNode* node, double delta) {
+  // Algorithm 2: adjust h of all descendants down to (and including) the
+  // first materialized node on each path.
+  std::unordered_set<RGNode*> visited;
+  std::vector<RGNode*> stack(node->children.begin(), node->children.end());
+  while (!stack.empty()) {
+    RGNode* n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    graph_.FoldAging(n);
+    n->h = std::max(0.0, n->h + delta);
+    if (n->mat_state == MatState::kCached) continue;
+    for (RGNode* c : n->children) stack.push_back(c);
+  }
+}
+
+void Recycler::UpdateHrOnMaterialize(RGNode* node) {
+  graph_.FoldAging(node);
+  UpdateHrChildren(node, -node->h);  // Eq. 3
+}
+
+void Recycler::UpdateHrOnEvict(RGNode* node) {
+  graph_.FoldAging(node);
+  UpdateHrChildren(node, +node->h);  // Eq. 4
+}
+
+// ---------------------------------------------------------------------------
+// Reuse rewriting (+ stalls and subsumption)
+// ---------------------------------------------------------------------------
+
+PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
+                                  PreparedQuery* prepared) {
+  RGNode* g = m->gnode;
+
+  if (CacheableType(plan->type())) {
+    // Exact reuse, stalling on an in-flight materialization first.
+    TablePtr snapshot;
+    double replaced_bcost = 0;
+    {
+      std::unique_lock<std::mutex> lock(graph_.mat_mutex());
+      if (g->mat_state == MatState::kInFlight) {
+        ++prepared->trace_.num_stalls;
+        counters_.stalls.fetch_add(1);
+        Stopwatch sw;
+        graph_.mat_cv().wait_for(
+            lock, std::chrono::milliseconds(config_.stall_timeout_ms),
+            [g] { return g->mat_state != MatState::kInFlight; });
+        prepared->trace_.stall_ms += sw.ElapsedMs();
+      }
+      if (g->mat_state == MatState::kCached) {
+        snapshot = g->cached;
+      }
+    }
+    if (snapshot != nullptr) {
+      {
+        std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+        replaced_bcost = g->bcost_ms;
+      }
+      PlanPtr cs =
+          PlanNode::CachedScan(snapshot, plan->output_schema().Names());
+      prepared->replaced_cost_[cs.get()] = replaced_bcost;
+      m->replaced = true;
+      ++prepared->trace_.num_reuses;
+      counters_.reuses.fetch_add(1);
+      if (config_.cache_policy == CachePolicy::kLru) {
+        std::unique_lock<std::shared_mutex> glock(graph_.mutex());
+        cache_.TouchForLru(g);
+      }
+      return cs;
+    }
+
+    // Subsumption (§IV-A): only consulted when exact matching failed to
+    // produce a cached result.
+    if (config_.enable_subsumption && m->children.size() == 1 &&
+        m->children[0]->gnode != nullptr) {
+      RGNode* child_gnode = m->children[0]->gnode;
+      SubsumptionPlan derived;
+      RGNode* subsumer = nullptr;
+      {
+        std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+        std::unordered_set<RGNode*> seen;
+        for (const auto& [hk, parent] : child_gnode->parents) {
+          if (parent == g || !seen.insert(parent).second) continue;
+          TablePtr cached;
+          {
+            std::unique_lock<std::mutex> mlock(graph_.mat_mutex());
+            if (parent->mat_state != MatState::kCached) continue;
+            cached = parent->cached;
+          }
+          derived = TrySubsumption(*m->plan, m->children[0]->mapping, *parent,
+                                   cached);
+          if (derived.plan != nullptr) {
+            subsumer = parent;
+            break;
+          }
+        }
+      }
+      if (derived.plan != nullptr) {
+        {
+          std::unique_lock<std::shared_mutex> glock(graph_.mutex());
+          graph_.FoldAging(subsumer);
+          subsumer->h += 1;  // subsumption reference
+          bool have_edge = false;
+          for (RGNode* s : subsumer->subsumes) have_edge |= (s == g);
+          if (!have_edge) subsumer->subsumes.push_back(g);
+          prepared->replaced_cost_[derived.cached_scan.get()] =
+              subsumer->bcost_ms;
+        }
+        m->replaced = true;
+        ++prepared->trace_.num_reuses;
+        ++prepared->trace_.num_subsumption_reuses;
+        counters_.reuses.fetch_add(1);
+        counters_.subsumption_reuses.fetch_add(1);
+        return derived.plan;
+      }
+    }
+  }
+
+  // No reuse here: recurse into children.
+  bool changed = false;
+  std::vector<PlanPtr> new_children;
+  for (size_t i = 0; i < m->children.size(); ++i) {
+    PlanPtr nc =
+        RewriteForReuse(m->children[i].get(), plan->children()[i], prepared);
+    changed = changed || nc != plan->children()[i];
+    new_children.push_back(std::move(nc));
+  }
+  PlanPtr out = changed ? plan->WithChildren(std::move(new_children)) : plan;
+  m->exec_plan = out.get();
+  prepared->exec_to_gnode_[out.get()] = g;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Store injection (admission decisions before execution)
+// ---------------------------------------------------------------------------
+
+StoreRequest Recycler::MakeStoreRequest(RGNode* gnode, StoreMode mode,
+                                        PreparedQuery* prepared) {
+  StoreRequest req;
+  req.mode = mode;
+  req.token = gnode;
+  req.buffer_cap_bytes = config_.speculation_buffer_cap;
+  req.keep_going = [this](void* token, const SpeculationEstimate& est) {
+    return SpeculationKeepGoing(static_cast<RGNode*>(token), est);
+  };
+  req.on_complete = [this, prepared](void* token, TablePtr result,
+                                     double subtree_ms) {
+    RGNode* node = static_cast<RGNode*>(token);
+    if (result != nullptr) {
+      OfferResult(node, std::move(result), subtree_ms, prepared);
+    } else {
+      ++prepared->trace_.num_spec_aborted;
+      counters_.spec_aborts.fetch_add(1);
+      SetMatState(node, MatState::kNone);
+    }
+  };
+  return req;
+}
+
+void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
+                            bool in_store_chain) {
+  // Caller holds the exclusive graph lock.
+  if (m->replaced) return;  // subtree not executed
+  RGNode* g = m->gnode;
+  bool stored_here = false;
+
+  if (CacheableType(m->plan->type()) && m->exec_plan != nullptr &&
+      g->mat_state == MatState::kNone &&
+      prepared->stores_.count(m->exec_plan) == 0) {
+    const bool is_root = m == prepared->matched_.get();
+    if (g->has_bcost) {
+      // History-based decision (§V HIST): the result has been computed
+      // before, so cost and size are known; materialize when the benefit
+      // metric admits it. Within a chain only the most beneficial node is
+      // stored (in_store_chain gates descendants of a chosen store).
+      double h = graph_.AgedH(g);
+      if (h >= 1.0 && !in_store_chain) {
+        double benefit = BenefitOf(g);
+        int64_t size = static_cast<int64_t>(EstimatedSize(g));
+        if (cache_.WouldAdmit(benefit, size)) {
+          prepared->stores_[m->exec_plan] =
+              MakeStoreRequest(g, StoreMode::kMaterialize, prepared);
+          SetMatState(g, MatState::kInFlight);
+          stored_here = true;
+        }
+      }
+    } else if (config_.mode == RecyclerMode::kSpeculation ||
+               config_.mode == RecyclerMode::kProactive) {
+      // Speculation (§III-D): never executed before; buffer and decide at
+      // run time. Applied to expected expensive/small operators and to
+      // the final result.
+      if (SpeculationTargetType(m->plan->type()) || is_root) {
+        prepared->stores_[m->exec_plan] =
+            MakeStoreRequest(g, StoreMode::kSpeculative, prepared);
+        SetMatState(g, MatState::kInFlight);
+        stored_here = true;
+      }
+    }
+  }
+
+  for (auto& c : m->children) {
+    // History stores below an existing history store are suppressed
+    // ("the result with the highest benefit of every subtree"); stores are
+    // injected top-down so the ancestor wins. Speculative stores do not
+    // suppress descendants (the paper materializes intermediates and the
+    // final result of the same query).
+    bool chain = in_store_chain ||
+                 (stored_here && prepared->stores_[m->exec_plan].mode ==
+                                     StoreMode::kMaterialize);
+    InjectStores(c.get(), prepared, chain);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store callbacks
+// ---------------------------------------------------------------------------
+
+void Recycler::SetMatState(RGNode* node, MatState state) {
+  {
+    std::unique_lock<std::mutex> lock(graph_.mat_mutex());
+    node->mat_state = state;
+  }
+  graph_.mat_cv().notify_all();
+}
+
+bool Recycler::SpeculationKeepGoing(RGNode* node,
+                                    const SpeculationEstimate& est) {
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+  double h = graph_.AgedH(node);
+  if (h <= 0) h = config_.speculation_h;
+  double size = std::max(1.0, est.est_size_bytes);
+  double benefit = est.est_cost_ms * h / size;
+  return cache_.WouldAdmit(benefit, static_cast<int64_t>(size));
+}
+
+void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
+                           PreparedQuery* prepared) {
+  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  graph_.FoldAging(node);
+  node->rows = result->num_rows();
+  if (!node->has_bcost) {
+    node->bcost_ms = subtree_ms;
+    node->has_bcost = true;
+  }
+  // Store the result under graph-space column names.
+  TablePtr graph_table = result->RenameColumns(node->output_names);
+  node->cached = graph_table;
+  node->cached_bytes = std::max<int64_t>(1, graph_table->ByteSize());
+  node->size_bytes = static_cast<double>(node->cached_bytes);
+  node->has_size = true;
+
+  double benefit = BenefitOf(node);
+  std::vector<RGNode*> evicted;
+  bool admitted = cache_.Admit(node, benefit, &evicted);
+  for (RGNode* v : evicted) {
+    UpdateHrOnEvict(v);
+    v->cached = nullptr;
+    SetMatState(v, MatState::kNone);
+    counters_.evictions.fetch_add(1);
+  }
+  if (admitted) {
+    SetMatState(node, MatState::kCached);
+    UpdateHrOnMaterialize(node);
+    counters_.materializations.fetch_add(1);
+    ++prepared->trace_.num_materialized;
+  } else {
+    node->cached = nullptr;
+    SetMatState(node, MatState::kNone);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction / invalidation
+// ---------------------------------------------------------------------------
+
+void Recycler::EvictNode(RGNode* node, bool update_h) {
+  // Caller holds the exclusive graph lock.
+  cache_.Remove(node);
+  if (update_h) UpdateHrOnEvict(node);
+  node->cached = nullptr;
+  SetMatState(node, MatState::kNone);
+  counters_.evictions.fetch_add(1);
+}
+
+void Recycler::InvalidateTable(const std::string& table) {
+  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  for (const auto& n : graph_.nodes()) {
+    if (n->mat_state == MatState::kCached &&
+        n->base_tables.count(table) > 0) {
+      EvictNode(n.get(), /*update_h=*/true);
+      counters_.invalidations.fetch_add(1);
+    }
+  }
+}
+
+int64_t Recycler::TruncateGraph(int64_t idle_epochs) {
+  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  return graph_.Truncate(idle_epochs);
+}
+
+void Recycler::FlushCache() {
+  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  std::vector<RGNode*> evicted;
+  cache_.Flush(&evicted);
+  for (RGNode* n : evicted) {
+    UpdateHrOnEvict(n);
+    n->cached = nullptr;
+    SetMatState(n, MatState::kNone);
+    counters_.evictions.fetch_add(1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prepare / OnComplete / Execute
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
+  auto prepared = std::make_unique<PreparedQuery>();
+  prepared->query_id_ = next_query_id_.fetch_add(1);
+  prepared->trace_.query_id = prepared->query_id_;
+  plan->Bind(*catalog_);
+
+  if (config_.mode == RecyclerMode::kOff) {
+    prepared->plan_ = std::move(plan);
+    return prepared;
+  }
+
+  Stopwatch match_sw;
+  graph_.AdvanceEpoch();
+
+  // --- proactive rewriting (PA mode, §IV-B) ---------------------------
+  std::unique_ptr<MNode> matched;
+  if (config_.mode == RecyclerMode::kProactive) {
+    PlanPtr topn = RewriteTopNProactive(plan, config_.proactive_topn_limit);
+    if (topn != plan) {
+      plan = std::move(topn);
+      plan->Bind(*catalog_);
+      prepared->trace_.used_proactive = true;
+      counters_.proactive_rewrites.fetch_add(1);
+    }
+    auto cube =
+        TryCubeRewrite(plan, *catalog_, config_.cube_distinct_threshold);
+    if (cube.has_value()) {
+      // Match + insert the proactive variant WITHOUT committing to execute
+      // it; its shared parts accumulate benefit each time the strategy
+      // triggers. Execute it only when the gate aggregate was recycled or
+      // has enough history for a store decision.
+      cube->plan->Bind(*catalog_);
+      auto pm = MatchTree(cube->plan);
+      bool gate_go = false;
+      {
+        std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+        InsertMissing(pm.get(), prepared->query_id_);
+        BumpImportance(pm.get(), false);
+        // Find the gate node's MNode.
+        std::vector<MNode*> stack{pm.get()};
+        RGNode* gate_gnode = nullptr;
+        while (!stack.empty()) {
+          MNode* m = stack.back();
+          stack.pop_back();
+          if (m->plan == cube->gate.get()) {
+            gate_gnode = m->gnode;
+            break;
+          }
+          for (auto& c : m->children) stack.push_back(c.get());
+        }
+        if (gate_gnode != nullptr) {
+          gate_go = gate_gnode->mat_state == MatState::kCached ||
+                    graph_.AgedH(gate_gnode) >= 1.0;
+        }
+      }
+      if (gate_go) {
+        plan = cube->plan;
+        matched = std::move(pm);
+        prepared->trace_.used_proactive = true;
+        counters_.proactive_rewrites.fetch_add(1);
+      }
+    }
+  }
+
+  // --- matching + insertion (§III-A/B) --------------------------------
+  if (matched == nullptr) {
+    matched = MatchTree(plan);  // phase 1, shared lock
+    std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+    InsertMissing(matched.get(), prepared->query_id_);  // phase 2 + OCC
+    BumpImportance(matched.get(), false);               // §III-C
+  }
+  prepared->trace_.match_ms = match_sw.ElapsedMs();
+  prepared->trace_.graph_nodes_at_match = graph_.Stats().num_nodes;
+  prepared->matched_ = std::move(matched);
+
+  // --- reuse rewriting (may stall on in-flight results) ----------------
+  PlanPtr rewritten =
+      RewriteForReuse(prepared->matched_.get(), plan, prepared.get());
+  rewritten->Bind(*catalog_);
+
+  // --- store injection --------------------------------------------------
+  {
+    std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+    InjectStores(prepared->matched_.get(), prepared.get(), false);
+  }
+
+  prepared->plan_ = std::move(rewritten);
+  return prepared;
+}
+
+void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
+  counters_.queries.fetch_add(1);
+  if (config_.mode == RecyclerMode::kOff) return;
+
+  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+
+  // bcost must always reflect cost-from-base-tables (Eq. 2): add back the
+  // base cost of every subtree a CachedScan replaced.
+  struct CostWalker {
+    const PreparedQuery* q;
+    const ExecResult* r;
+    // Returns the replaced base cost under `node` (inclusive).
+    double ReplacedBelow(const PlanNode* node) const {
+      double total = 0;
+      auto it = q->replaced_cost_.find(node);
+      if (it != q->replaced_cost_.end()) total += it->second;
+      for (const auto& c : node->children()) total += ReplacedBelow(c.get());
+      return total;
+    }
+  };
+  CostWalker walker{prepared, &result};
+
+  for (const auto& [node, gnode] : prepared->exec_to_gnode_) {
+    auto it = result.node_runtime.find(node);
+    if (it == result.node_runtime.end()) continue;
+    const NodeRuntime& rt = it->second;
+    double bcost = rt.inclusive_ms + walker.ReplacedBelow(node);
+    gnode->bcost_ms = bcost;  // refresh with the current system load
+    gnode->has_bcost = true;
+    gnode->rows = rt.rows_out;
+    if (!gnode->has_size) {
+      gnode->size_bytes = std::max(
+          1.0, static_cast<double>(rt.rows_out) *
+                   EstRowWidth(gnode->output_types));
+    }
+  }
+}
+
+ExecResult Recycler::Execute(const PlanPtr& query_plan, QueryTrace* trace_out) {
+  std::unique_ptr<PreparedQuery> prepared = Prepare(query_plan);
+  ExecResult result = executor_.Run(prepared->plan(), &prepared->stores());
+  OnComplete(prepared.get(), result);
+  if (trace_out != nullptr) *trace_out = prepared->trace();
+  return result;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,207 @@
+// The recycler: matching, benefit-based result selection, speculation,
+// subsumption and proactive rewriting for a pipelined query engine.
+// This is the paper's primary contribution (Sections II-IV).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "recycler/cache.h"
+#include "recycler/graph.h"
+
+namespace recycledb {
+
+/// Execution modes evaluated in the paper (§V):
+///  kOff        - no recycling (the "naive"/OFF baseline).
+///  kHistory    - HIST: materialize only results seen in previous queries,
+///                decided at rewrite time from recorded statistics.
+///  kSpeculation- SPEC: HIST + speculative stores with run-time estimates
+///                on never-seen expensive/small results.
+///  kProactive  - PA: SPEC + proactive query rewriting (top-N caching,
+///                cube caching with selections / with binning).
+enum class RecyclerMode : uint8_t { kOff, kHistory, kSpeculation, kProactive };
+
+const char* RecyclerModeName(RecyclerMode mode);
+
+/// Tunables for the recycler.
+struct RecyclerConfig {
+  RecyclerMode mode = RecyclerMode::kSpeculation;
+  /// Recycler cache budget in bytes; < 0 means unlimited.
+  int64_t cache_bytes = 256ll << 20;
+  /// Aging factor alpha (Eq. 5); 1.0 disables aging.
+  double aging_alpha = 1.0;
+  /// Constant h used for speculative benefit estimates (§III-D).
+  double speculation_h = 0.001;
+  /// Hard cap for speculative buffering per store operator.
+  int64_t speculation_buffer_cap = 64ll << 20;
+  /// Enables subsumption-based reuse (§IV-A).
+  bool enable_subsumption = true;
+  /// Proactive top-N limit L (§IV-B: topN(Q, 10000) subsumes topN(Q, N)).
+  int64_t proactive_topn_limit = 10000;
+  /// Cube caching threshold on the number of distinct values the pulled-up
+  /// selection columns add to the GROUP BY (§IV-B heuristic).
+  int64_t cube_distinct_threshold = 64;
+  /// Upper bound on stalling for a concurrent materialization.
+  int64_t stall_timeout_ms = 30000;
+  /// Replacement policy (kBenefit = paper; others for ablations).
+  CachePolicy cache_policy = CachePolicy::kBenefit;
+};
+
+/// Per-query observability record (drives Fig. 9 traces and Fig. 10).
+struct QueryTrace {
+  int64_t query_id = 0;
+  int num_reuses = 0;              // cached results consumed
+  int num_subsumption_reuses = 0;  // of which via subsumption
+  int num_materialized = 0;        // results added to the cache
+  int num_spec_aborted = 0;        // speculative stores that backed off
+  int num_stalls = 0;              // waits on concurrent materializations
+  bool used_proactive = false;     // a proactive rewrite was executed
+  double match_ms = 0;             // matching + insertion cost (Fig. 10)
+  double stall_ms = 0;
+  int64_t graph_nodes_at_match = 0;
+};
+
+/// Aggregate counters across all queries (reported by benches).
+struct RecyclerCounters {
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> reuses{0};
+  std::atomic<int64_t> subsumption_reuses{0};
+  std::atomic<int64_t> materializations{0};
+  std::atomic<int64_t> spec_aborts{0};
+  std::atomic<int64_t> stalls{0};
+  std::atomic<int64_t> evictions{0};
+  std::atomic<int64_t> invalidations{0};
+  std::atomic<int64_t> proactive_rewrites{0};
+};
+
+class Recycler;
+
+/// A query prepared for execution: the (possibly rewritten) plan plus the
+/// store-operator configuration, and the bookkeeping needed to annotate
+/// the recycler graph after execution.
+class PreparedQuery {
+ public:
+  PreparedQuery();
+  ~PreparedQuery();  // out-of-line: MNode is defined in recycler.cc
+
+  const PlanPtr& plan() const { return plan_; }
+  const std::map<const PlanNode*, StoreRequest>& stores() const {
+    return stores_;
+  }
+  const QueryTrace& trace() const { return trace_; }
+
+ private:
+  friend class Recycler;
+  struct MNode;  // matched-tree node (internal)
+
+  PlanPtr plan_;
+  std::map<const PlanNode*, StoreRequest> stores_;
+  QueryTrace trace_;
+  std::unique_ptr<MNode> matched_;  // matched tree over the ORIGINAL plan
+  /// Executed plan node -> graph node (for post-run annotation).
+  std::map<const PlanNode*, RGNode*> exec_to_gnode_;
+  /// CachedScan plan node -> bcost of the subtree it replaced (Eq. 2
+  /// bookkeeping: bcost must stay cost-from-base-tables).
+  std::map<const PlanNode*, double> replaced_cost_;
+  int64_t query_id_ = 0;
+};
+
+/// The recycler facade.
+///
+/// Thread-safe: Prepare/OnComplete/Execute may be called from concurrent
+/// query streams. See graph.h for the locking discipline.
+class Recycler {
+ public:
+  Recycler(const Catalog* catalog, RecyclerConfig config);
+
+  /// Full pipeline for one query: Prepare -> Execute -> OnComplete.
+  /// `trace_out` (optional) receives the query's trace record.
+  ExecResult Execute(const PlanPtr& query_plan, QueryTrace* trace_out = nullptr);
+
+  /// Matches `query_plan` against the recycler graph, inserts unseen
+  /// nodes, rewrites for reuse, and injects store operators.
+  /// The input plan is not modified. Binds both input and output plans.
+  std::unique_ptr<PreparedQuery> Prepare(PlanPtr query_plan);
+
+  /// Post-execution hook: annotates graph nodes with measured statistics.
+  void OnComplete(PreparedQuery* prepared, const ExecResult& result);
+
+  /// Evicts every cached result that depends on `table` (update commit).
+  void InvalidateTable(const std::string& table);
+
+  /// Evicts everything from the cache (simulated refresh, Fig. 6).
+  void FlushCache();
+
+  /// Removes recycler-graph subtrees not accessed for `idle_epochs` query
+  /// invocations (the paper's periodic truncation for production
+  /// deployments, §II). Cached / in-flight nodes and shared prefixes that
+  /// fresher plans still reference are kept. Returns nodes removed.
+  /// Must be called at a quiescent point (no queries between Prepare and
+  /// OnComplete): prepared queries hold raw graph-node references.
+  int64_t TruncateGraph(int64_t idle_epochs);
+
+  /// Benefit of a node per Eq. 1/2 with lazily-aged h. Caller must hold
+  /// at least a shared lock on graph().mutex(); exposed for tests/benches.
+  double BenefitOf(const RGNode* node) const;
+
+  /// True cost (Eq. 2): bcost minus the bcost of direct materialized
+  /// descendants. Caller holds a lock on graph().mutex().
+  double TrueCost(const RGNode* node) const;
+
+  RecyclerGraph& graph() { return graph_; }
+  RecyclerCache& cache() { return cache_; }
+  const RecyclerConfig& config() const { return config_; }
+  const RecyclerCounters& counters() const { return counters_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  using MNode = PreparedQuery::MNode;
+
+  // --- matching & insertion (§III-A/B) --------------------------------
+  std::unique_ptr<MNode> MatchTree(const PlanPtr& plan);
+  void InsertMissing(MNode* m, int64_t query_id);
+  RGNode* MatchOne(const PlanNode& node, const std::vector<RGNode*>& child_g,
+                   const NameMap& mapping) const;
+  RGNode* InsertOne(const PlanNode& node, const std::vector<RGNode*>& child_g,
+                    NameMap* mapping, int64_t query_id);
+  static std::string LeafKey(const PlanNode& node);
+
+  // --- h maintenance (§III-C) ------------------------------------------
+  void BumpImportance(MNode* m, bool has_materialized_ancestor);
+  void UpdateHrOnMaterialize(RGNode* node);          // Eq. 3 / Algorithm 2
+  void UpdateHrOnEvict(RGNode* node);                // Eq. 4
+  void UpdateHrChildren(RGNode* node, double delta); // shared walker
+
+  // --- rewriting --------------------------------------------------------
+  PlanPtr RewriteForReuse(MNode* m, const PlanPtr& plan,
+                          PreparedQuery* prepared);
+  void InjectStores(MNode* m, PreparedQuery* prepared, bool in_store_chain);
+  StoreRequest MakeStoreRequest(RGNode* gnode, StoreMode mode,
+                                PreparedQuery* prepared);
+
+  // --- store callbacks --------------------------------------------------
+  void OfferResult(RGNode* node, TablePtr result, double subtree_ms,
+                   PreparedQuery* prepared);
+  bool SpeculationKeepGoing(RGNode* node, const SpeculationEstimate& est);
+  void SetMatState(RGNode* node, MatState state);
+
+  /// Estimated result size in bytes (measured when available, else
+  /// cardinality x estimated row width; §III-C "size(R)").
+  double EstimatedSize(const RGNode* node) const;
+
+  void EvictNode(RGNode* node, bool update_h);
+
+  const Catalog* catalog_;
+  RecyclerConfig config_;
+  RecyclerGraph graph_;
+  RecyclerCache cache_;
+  Executor executor_;
+  RecyclerCounters counters_;
+  std::atomic<int64_t> next_query_id_{1};
+};
+
+}  // namespace recycledb

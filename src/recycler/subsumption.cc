@@ -1,0 +1,326 @@
+#include "recycler/subsumption.h"
+
+#include <optional>
+#include <set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace recycledb {
+
+namespace {
+
+std::set<std::string> ConjunctFps(const ExprPtr& pred, const NameMap* mapping) {
+  std::set<std::string> out;
+  for (const auto& c : SplitConjuncts(pred)) {
+    out.insert(c->Fingerprint(mapping));
+  }
+  return out;
+}
+
+bool SameSortKeys(const std::vector<SortKey>& query_keys,
+                  const NameMap& mapping,
+                  const std::vector<SortKey>& cand_keys) {
+  if (query_keys.size() != cand_keys.size()) return false;
+  for (size_t i = 0; i < query_keys.size(); ++i) {
+    auto it = mapping.find(query_keys[i].column);
+    const std::string& mapped =
+        it == mapping.end() ? query_keys[i].column : it->second;
+    if (mapped != cand_keys[i].column) return false;
+    if (query_keys[i].ascending != cand_keys[i].ascending) return false;
+  }
+  return true;
+}
+
+/// Index of the cand aggregate with function `fn` and argument fingerprint
+/// `arg_fp`, or -1.
+int FindCandAgg(const PlanNode& cand, AggFunc fn, const std::string& arg_fp) {
+  const auto& aggs = cand.aggregates();
+  for (size_t j = 0; j < aggs.size(); ++j) {
+    if (aggs[j].fn == fn && aggs[j].arg->Fingerprint(nullptr) == arg_fp) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+/// Builds the CachedScan with synthetic column names s0..s<k>.
+SubsumptionPlan MakeSyntheticScan(TablePtr cached) {
+  SubsumptionPlan out;
+  std::vector<std::string> names;
+  names.reserve(cached->schema().num_fields());
+  for (int i = 0; i < cached->schema().num_fields(); ++i) {
+    names.push_back(StrFormat("s%d", i));
+  }
+  out.cached_scan = PlanNode::CachedScan(std::move(cached), std::move(names));
+  return out;
+}
+
+SubsumptionPlan TrySelect(const PlanNode& query_node,
+                          const NameMap& child_mapping, const RGNode& cand,
+                          TablePtr cached) {
+  const PlanNode& cp = *cand.param_node;
+  std::set<std::string> cand_fps = ConjunctFps(cp.predicate(), nullptr);
+  std::vector<ExprPtr> residual;
+  std::set<std::string> covered;
+  for (const auto& c : SplitConjuncts(query_node.predicate())) {
+    std::string fp = c->Fingerprint(&child_mapping);
+    if (cand_fps.count(fp) > 0) {
+      covered.insert(fp);
+    } else {
+      residual.push_back(c);
+    }
+  }
+  // Every cached conjunct must be implied by the query's (conjunct subset):
+  // otherwise the cached result dropped rows the query needs.
+  if (covered.size() != cand_fps.size()) return {};
+
+  SubsumptionPlan out;
+  // The select's output schema equals its child's; the cached columns are
+  // positionally the child's columns.
+  out.cached_scan = PlanNode::CachedScan(
+      std::move(cached), query_node.output_schema().Names());
+  out.plan = residual.empty()
+                 ? out.cached_scan
+                 : PlanNode::Select(out.cached_scan, AndAll(residual));
+  return out;
+}
+
+SubsumptionPlan TryTopN(const PlanNode& query_node, const NameMap& child_mapping,
+                        const RGNode& cand, TablePtr cached) {
+  const PlanNode& cp = *cand.param_node;
+  if (cp.limit() < query_node.limit()) return {};
+  if (!SameSortKeys(query_node.sort_keys(), child_mapping, cp.sort_keys())) {
+    return {};
+  }
+  SubsumptionPlan out;
+  out.cached_scan = PlanNode::CachedScan(
+      std::move(cached), query_node.output_schema().Names());
+  // The cached top-M is emitted in sort order, so top-N is its prefix.
+  out.plan = PlanNode::Limit(out.cached_scan, query_node.limit());
+  return out;
+}
+
+SubsumptionPlan TryProject(const PlanNode& query_node,
+                           const NameMap& child_mapping, const RGNode& cand,
+                           TablePtr cached) {
+  const PlanNode& cp = *cand.param_node;
+  std::vector<int> positions;
+  for (const auto& item : query_node.projections()) {
+    std::string fp = item.expr->Fingerprint(&child_mapping);
+    int pos = -1;
+    for (size_t j = 0; j < cp.projections().size(); ++j) {
+      if (cp.projections()[j].expr->Fingerprint(nullptr) == fp) {
+        pos = static_cast<int>(j);
+        break;
+      }
+    }
+    if (pos < 0) return {};  // column subsumption requires a superset
+    positions.push_back(pos);
+  }
+  SubsumptionPlan out = MakeSyntheticScan(std::move(cached));
+  std::vector<ProjItem> items;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    items.push_back({Expr::Column(StrFormat("s%d", positions[i])),
+                     query_node.projections()[i].out_name});
+  }
+  out.plan = PlanNode::Project(out.cached_scan, std::move(items));
+  return out;
+}
+
+SubsumptionPlan TryAggregate(const PlanNode& query_node,
+                             const NameMap& child_mapping, const RGNode& cand,
+                             TablePtr cached) {
+  const PlanNode& cp = *cand.param_node;
+  const int cand_groups = static_cast<int>(cp.group_by().size());
+
+  // Map each query group column to its position in the cached result.
+  std::vector<int> group_pos;
+  for (const auto& q : query_node.group_by()) {
+    auto it = child_mapping.find(q);
+    const std::string& gq = it == child_mapping.end() ? q : it->second;
+    int pos = -1;
+    for (int j = 0; j < cand_groups; ++j) {
+      if (cp.group_by()[j] == gq) {
+        pos = j;
+        break;
+      }
+    }
+    if (pos < 0) return {};  // query grouping must be coarser or equal
+    group_pos.push_back(pos);
+  }
+
+  const bool same_grouping =
+      static_cast<int>(query_node.group_by().size()) == cand_groups;
+
+  if (same_grouping) {
+    // Column subsumption: same grouping; every requested aggregate must be
+    // present verbatim -> project out the needed columns.
+    std::vector<int> agg_pos;
+    for (const auto& a : query_node.aggregates()) {
+      int j = FindCandAgg(cp, a.fn, a.arg->Fingerprint(&child_mapping));
+      if (j < 0) return {};
+      agg_pos.push_back(cand_groups + j);
+    }
+    SubsumptionPlan out = MakeSyntheticScan(std::move(cached));
+    std::vector<ProjItem> items;
+    for (size_t i = 0; i < group_pos.size(); ++i) {
+      items.push_back({Expr::Column(StrFormat("s%d", group_pos[i])),
+                       query_node.group_by()[i]});
+    }
+    for (size_t i = 0; i < agg_pos.size(); ++i) {
+      items.push_back({Expr::Column(StrFormat("s%d", agg_pos[i])),
+                       query_node.aggregates()[i].out_name});
+    }
+    out.plan = PlanNode::Project(out.cached_scan, std::move(items));
+    return out;
+  }
+
+  // Tuple subsumption: the cached grouping is strictly finer. Re-aggregate
+  // the cached partials with the decomposition rules.
+  std::vector<AggItem> reaggs;      // over synthetic columns
+  std::vector<ProjItem> final_items;
+  for (size_t i = 0; i < group_pos.size(); ++i) {
+    final_items.push_back({Expr::Column(query_node.group_by()[i]),
+                           query_node.group_by()[i]});
+  }
+  int temp_serial = 0;
+  for (const auto& a : query_node.aggregates()) {
+    std::string arg_fp = a.arg->Fingerprint(&child_mapping);
+    switch (a.fn) {
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        int j = FindCandAgg(cp, a.fn, arg_fp);
+        if (j < 0) return {};
+        std::string tmp = StrFormat("r%d", temp_serial++);
+        AggFunc refn = a.fn == AggFunc::kSum ? AggFunc::kSum : a.fn;
+        reaggs.push_back(
+            {refn, Expr::Column(StrFormat("s%d", cand_groups + j)), tmp});
+        final_items.push_back({Expr::Column(tmp), a.out_name});
+        break;
+      }
+      case AggFunc::kCount: {
+        int j = FindCandAgg(cp, AggFunc::kCount, arg_fp);
+        if (j < 0) return {};
+        std::string tmp = StrFormat("r%d", temp_serial++);
+        reaggs.push_back(
+            {AggFunc::kSum, Expr::Column(StrFormat("s%d", cand_groups + j)),
+             tmp});
+        final_items.push_back({Expr::Column(tmp), a.out_name});
+        break;
+      }
+      case AggFunc::kAvg: {
+        int js = FindCandAgg(cp, AggFunc::kSum, arg_fp);
+        int jc = FindCandAgg(cp, AggFunc::kCount, arg_fp);
+        if (js < 0 || jc < 0) return {};
+        std::string ts = StrFormat("r%d", temp_serial++);
+        std::string tc = StrFormat("r%d", temp_serial++);
+        reaggs.push_back(
+            {AggFunc::kSum, Expr::Column(StrFormat("s%d", cand_groups + js)),
+             ts});
+        reaggs.push_back(
+            {AggFunc::kSum, Expr::Column(StrFormat("s%d", cand_groups + jc)),
+             tc});
+        final_items.push_back(
+            {Expr::Arith(ArithOp::kDiv,
+                         Expr::Arith(ArithOp::kMul, Expr::Column(ts),
+                                     Expr::Literal(1.0)),
+                         Expr::Column(tc)),
+             a.out_name});
+        break;
+      }
+    }
+  }
+
+  SubsumptionPlan out = MakeSyntheticScan(std::move(cached));
+  // Rename the query's group columns in the synthetic scan so the
+  // re-aggregation's group outputs carry the final names directly.
+  std::vector<std::string> scan_names = out.cached_scan->scan_columns();
+  for (size_t i = 0; i < group_pos.size(); ++i) {
+    scan_names[group_pos[i]] = query_node.group_by()[i];
+  }
+  out.cached_scan =
+      PlanNode::CachedScan(out.cached_scan->cached_result(), scan_names);
+  PlanPtr reagg = PlanNode::Aggregate(out.cached_scan,
+                                      query_node.group_by(), reaggs);
+  out.plan = PlanNode::Project(reagg, std::move(final_items));
+  return out;
+}
+
+}  // namespace
+
+SubsumptionPlan TrySubsumption(const PlanNode& query_node,
+                               const NameMap& child_mapping,
+                               const RGNode& cand, TablePtr cached) {
+  if (cand.param_node == nullptr || cached == nullptr) return {};
+  if (cand.type != query_node.type()) return {};
+  switch (query_node.type()) {
+    case OpType::kSelect:
+      return TrySelect(query_node, child_mapping, cand, std::move(cached));
+    case OpType::kTopN:
+      return TryTopN(query_node, child_mapping, cand, std::move(cached));
+    case OpType::kProject:
+      return TryProject(query_node, child_mapping, cand, std::move(cached));
+    case OpType::kAggregate:
+      return TryAggregate(query_node, child_mapping, cand, std::move(cached));
+    default:
+      return {};
+  }
+}
+
+bool ParamsSubsume(const PlanNode& super, const PlanNode& sub) {
+  if (super.type() != sub.type()) return false;
+  switch (super.type()) {
+    case OpType::kSelect: {
+      // super's conjuncts must be a subset of sub's.
+      auto super_fps = ConjunctFps(super.predicate(), nullptr);
+      auto sub_fps = ConjunctFps(sub.predicate(), nullptr);
+      for (const auto& fp : super_fps) {
+        if (sub_fps.count(fp) == 0) return false;
+      }
+      return true;
+    }
+    case OpType::kTopN:
+      return super.limit() >= sub.limit() &&
+             SameSortKeys(sub.sort_keys(), {}, super.sort_keys());
+    case OpType::kProject: {
+      for (const auto& item : sub.projections()) {
+        bool found = false;
+        for (const auto& sitem : super.projections()) {
+          if (sitem.expr->Fingerprint(nullptr) ==
+              item.expr->Fingerprint(nullptr)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+    case OpType::kAggregate: {
+      // super groups must be a superset of sub groups.
+      std::set<std::string> super_groups(super.group_by().begin(),
+                                         super.group_by().end());
+      for (const auto& g : sub.group_by()) {
+        if (super_groups.count(g) == 0) return false;
+      }
+      for (const auto& a : sub.aggregates()) {
+        std::string arg_fp = a.arg->Fingerprint(nullptr);
+        if (a.fn == AggFunc::kAvg) {
+          if (FindCandAgg(super, AggFunc::kSum, arg_fp) < 0 ||
+              FindCandAgg(super, AggFunc::kCount, arg_fp) < 0) {
+            return false;
+          }
+        } else if (FindCandAgg(super, a.fn, arg_fp) < 0) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace recycledb

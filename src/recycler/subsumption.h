@@ -1,0 +1,47 @@
+// Subsumption-based reuse (§IV-A): deriving a query node's result from a
+// cached result that subsumes it.
+//
+// Supported derivations:
+//   - column subsumption: the cached Project/Aggregate computes a superset
+//     of the requested output columns -> project them out.
+//   - tuple subsumption (Select): the cached selection's conjuncts are a
+//     subset of the requested ones -> apply the residual conjuncts.
+//   - tuple subsumption (Aggregate): the cached GROUP BY is finer (its
+//     grouping columns are a superset) and every requested aggregate can
+//     be re-aggregated from cached partials -> re-aggregate.
+//   - tuple subsumption (TopN): the cached top-M with the same sort keys
+//     and M >= N answers top-N via a Limit (the proactive top-N strategy
+//     relies on this).
+#pragma once
+
+#include "recycler/graph.h"
+
+namespace recycledb {
+
+/// Result of a successful subsumption derivation.
+struct SubsumptionPlan {
+  /// Derived plan (query name space) whose output schema equals the query
+  /// node's output schema.
+  PlanPtr plan;
+  /// The CachedScan node inside `plan` (for cost annotation).
+  PlanPtr cached_scan;
+};
+
+/// Attempts to derive `query_node`'s result from the cached result of
+/// `cand`. `child_mapping` maps the query child's column names to graph
+/// space (the two nodes share the child subtree). `cached` is the
+/// candidate's materialized result (caller snapshots it under lock).
+/// Returns an empty plan when no supported derivation applies.
+///
+/// Thread-safety: reads only immutable RGNode fields (param_node,
+/// output_names) plus the passed-in `cached` snapshot.
+SubsumptionPlan TrySubsumption(const PlanNode& query_node,
+                               const NameMap& child_mapping,
+                               const RGNode& cand, TablePtr cached);
+
+/// True if `sub`'s parameters are subsumed by `super`'s (both param_nodes
+/// in graph space, same child). Used to maintain most-specific
+/// subsumption edges in the graph.
+bool ParamsSubsume(const PlanNode& super, const PlanNode& sub);
+
+}  // namespace recycledb

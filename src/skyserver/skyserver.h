@@ -1,0 +1,43 @@
+// Synthetic SkyServer workload (§V Fig. 6).
+//
+// Substitution (see DESIGN.md): the 100GB SDSS DR7 subset is replaced by a
+// synthetic PhotoPrimary-like sky catalog, and fGetNearbyObjEq(ra, dec, r)
+// is implemented as an expensive cone-search table function over it. The
+// 100-query log reproduces the structural property the paper's workload
+// has: one dominant query pattern whose instances share the computation
+// of fGetNearbyObjEq(195, 2.5, 0.5) and mostly also the tiny final result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+
+namespace recycledb {
+namespace skyserver {
+
+/// Generates the photoprimary table (`num_objects` rows) into `catalog`
+/// and registers the fGetNearbyObjEq table function. Deterministic.
+void Setup(int64_t num_objects, Catalog* catalog, uint64_t seed = 20130408);
+
+/// Default object count used by benches (env RECYCLEDB_SKY_OBJECTS).
+int64_t ObjectsFromEnv(int64_t fallback = 300000);
+
+/// One query of the log.
+struct SkyQuery {
+  PlanPtr plan;
+  bool dominant;  // instance of the dominant pattern (exact repeat)
+};
+
+/// Generates the 100-query workload: `dominant_fraction` of the queries
+/// are exact repeats of the dominant pattern; the rest share the same
+/// fGetNearbyObjEq(195, 2.5, 0.5) call but differ in projected columns
+/// and LIMIT (per §V: "queries are either identical ... or share the
+/// computation of fGetNearbyObjEq(195, 2.5, 0.5)").
+std::vector<SkyQuery> GenerateWorkload(int num_queries, Rng* rng,
+                                       double dominant_fraction = 0.7);
+
+}  // namespace skyserver
+}  // namespace recycledb

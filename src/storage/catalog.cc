@@ -1,0 +1,83 @@
+#include "storage/catalog.h"
+
+#include <unordered_set>
+
+namespace recycledb {
+
+Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  Entry entry;
+  entry.table = table;
+  ComputeStats(*table, &entry.column_stats);
+  tables_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not registered: " + name);
+  }
+  it->second.table = table;
+  it->second.column_stats.clear();
+  ComputeStats(*table, &it->second.column_stats);
+  return Status::OK();
+}
+
+TablePtr Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+const ColumnStats* Catalog::GetColumnStats(const std::string& table,
+                                           const std::string& column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return nullptr;
+  auto cit = it->second.column_stats.find(column);
+  return cit == it->second.column_stats.end() ? nullptr : &cit->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::ComputeStats(const Table& table,
+                           std::map<std::string, ColumnStats>* out) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const auto& field = table.schema().field(c);
+    ColumnStats stats;
+    std::unordered_set<uint64_t> distinct;
+    const ColumnVector& col = *table.column(c);
+    int64_t n = col.size();
+    for (int64_t r = 0; r < n; ++r) {
+      distinct.insert(col.HashRow(r, 0));
+      Datum d = col.GetDatum(r);
+      if (r == 0) {
+        stats.min_value = d;
+        stats.max_value = d;
+      } else {
+        if (DatumCompare(d, stats.min_value) < 0) stats.min_value = d;
+        if (DatumCompare(d, stats.max_value) > 0) stats.max_value = d;
+      }
+    }
+    stats.distinct_count = static_cast<int64_t>(distinct.size());
+    (*out)[field.name] = stats;
+  }
+}
+
+}  // namespace recycledb

@@ -1,0 +1,62 @@
+// Catalog: registry of base tables plus lightweight column statistics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+/// Per-column statistics used by the proactive cube-caching heuristic
+/// ("apply the rule only if the number of distinct values of the column is
+/// smaller than a threshold") and by progress meters.
+struct ColumnStats {
+  int64_t distinct_count = 0;
+  Datum min_value;
+  Datum max_value;
+};
+
+/// Thread-safe registry of base tables.
+///
+/// The catalog is read-mostly: benchmarks register tables once and then
+/// run concurrent query streams against them.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `table` under `name`; computes column statistics eagerly.
+  Status RegisterTable(const std::string& name, TablePtr table);
+
+  /// Replaces a registered table (used by update/invalidation tests).
+  Status ReplaceTable(const std::string& name, TablePtr table);
+
+  /// Looks up a table; nullptr if absent.
+  TablePtr GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Returns statistics for `table.column`; nullptr if unknown.
+  const ColumnStats* GetColumnStats(const std::string& table,
+                                    const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    TablePtr table;
+    std::map<std::string, ColumnStats> column_stats;
+  };
+
+  static void ComputeStats(const Table& table,
+                           std::map<std::string, ColumnStats>* out);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace recycledb

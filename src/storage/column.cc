@@ -1,0 +1,187 @@
+#include "storage/column.h"
+
+namespace recycledb {
+
+namespace {
+template <typename T>
+std::vector<T> EmptyVec() {
+  return {};
+}
+}  // namespace
+
+ColumnVector::ColumnVector(TypeId type) : type_(type) {
+  switch (type) {
+    case TypeId::kBool:
+      data_ = EmptyVec<uint8_t>();
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      data_ = EmptyVec<int32_t>();
+      break;
+    case TypeId::kInt64:
+      data_ = EmptyVec<int64_t>();
+      break;
+    case TypeId::kDouble:
+      data_ = EmptyVec<double>();
+      break;
+    case TypeId::kString:
+      data_ = EmptyVec<std::string>();
+      break;
+  }
+}
+
+int64_t ColumnVector::size() const {
+  return std::visit([](const auto& v) { return static_cast<int64_t>(v.size()); },
+                    data_);
+}
+
+Datum ColumnVector::GetDatum(int64_t row) const {
+  switch (type_) {
+    case TypeId::kBool:
+      return static_cast<bool>(Data<uint8_t>()[row]);
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return Data<int32_t>()[row];
+    case TypeId::kInt64:
+      return Data<int64_t>()[row];
+    case TypeId::kDouble:
+      return Data<double>()[row];
+    case TypeId::kString:
+      return Data<std::string>()[row];
+  }
+  RDB_UNREACHABLE("bad type");
+}
+
+void ColumnVector::Append(const Datum& value) {
+  switch (type_) {
+    case TypeId::kBool:
+      Data<uint8_t>().push_back(std::get<bool>(value) ? 1 : 0);
+      return;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      if (std::holds_alternative<int32_t>(value)) {
+        Data<int32_t>().push_back(std::get<int32_t>(value));
+      } else {
+        Data<int32_t>().push_back(static_cast<int32_t>(DatumAsInt64(value)));
+      }
+      return;
+    case TypeId::kInt64:
+      Data<int64_t>().push_back(DatumAsInt64(value));
+      return;
+    case TypeId::kDouble:
+      Data<double>().push_back(DatumAsDouble(value));
+      return;
+    case TypeId::kString:
+      Data<std::string>().push_back(std::get<std::string>(value));
+      return;
+  }
+  RDB_UNREACHABLE("bad type");
+}
+
+void ColumnVector::AppendSelected(const ColumnVector& src,
+                                  const std::vector<int32_t>& sel) {
+  RDB_CHECK(src.type_ == type_);
+  std::visit(
+      [&](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& s = std::get<Vec>(src.data_);
+        dst.reserve(dst.size() + sel.size());
+        for (int32_t i : sel) dst.push_back(s[i]);
+      },
+      data_);
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, int64_t offset,
+                               int64_t count) {
+  RDB_CHECK(src.type_ == type_);
+  std::visit(
+      [&](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& s = std::get<Vec>(src.data_);
+        dst.insert(dst.end(), s.begin() + offset, s.begin() + offset + count);
+      },
+      data_);
+}
+
+void ColumnVector::Reserve(int64_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+void ColumnVector::Clear() {
+  std::visit([](auto& v) { v.clear(); }, data_);
+}
+
+int64_t ColumnVector::ByteSize() const {
+  switch (type_) {
+    case TypeId::kBool:
+      return static_cast<int64_t>(Data<uint8_t>().capacity());
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return static_cast<int64_t>(Data<int32_t>().capacity() * 4);
+    case TypeId::kInt64:
+      return static_cast<int64_t>(Data<int64_t>().capacity() * 8);
+    case TypeId::kDouble:
+      return static_cast<int64_t>(Data<double>().capacity() * 8);
+    case TypeId::kString: {
+      int64_t total = static_cast<int64_t>(Data<std::string>().capacity() *
+                                           sizeof(std::string));
+      for (const auto& s : Data<std::string>()) {
+        total += static_cast<int64_t>(s.capacity());
+      }
+      return total;
+    }
+  }
+  RDB_UNREACHABLE("bad type");
+}
+
+uint64_t ColumnVector::HashRow(int64_t row, uint64_t seed) const {
+  switch (type_) {
+    case TypeId::kBool: {
+      uint64_t v = Data<uint8_t>()[row];
+      return HashCombine(seed, HashMix(v + 1));
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      uint64_t v = static_cast<uint64_t>(
+          static_cast<int64_t>(Data<int32_t>()[row]));
+      return HashCombine(seed, HashMix(v));
+    }
+    case TypeId::kInt64: {
+      uint64_t v = static_cast<uint64_t>(Data<int64_t>()[row]);
+      return HashCombine(seed, HashMix(v));
+    }
+    case TypeId::kDouble: {
+      double d = Data<double>()[row];
+      uint64_t v;
+      static_assert(sizeof(v) == sizeof(d));
+      __builtin_memcpy(&v, &d, sizeof(v));
+      return HashCombine(seed, HashMix(v));
+    }
+    case TypeId::kString:
+      return HashCombine(seed, HashString(Data<std::string>()[row]));
+  }
+  RDB_UNREACHABLE("bad type");
+}
+
+bool ColumnVector::RowEquals(int64_t a, const ColumnVector& other,
+                             int64_t b) const {
+  RDB_CHECK(type_ == other.type_);
+  switch (type_) {
+    case TypeId::kBool:
+      return Data<uint8_t>()[a] == other.Data<uint8_t>()[b];
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      return Data<int32_t>()[a] == other.Data<int32_t>()[b];
+    case TypeId::kInt64:
+      return Data<int64_t>()[a] == other.Data<int64_t>()[b];
+    case TypeId::kDouble:
+      return Data<double>()[a] == other.Data<double>()[b];
+    case TypeId::kString:
+      return Data<std::string>()[a] == other.Data<std::string>()[b];
+  }
+  RDB_UNREACHABLE("bad type");
+}
+
+ColumnPtr MakeColumn(TypeId type) { return std::make_shared<ColumnVector>(type); }
+
+}  // namespace recycledb

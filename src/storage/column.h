@@ -1,0 +1,90 @@
+// Columnar vector: the unit of data flow in the vector-at-a-time engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/types.h"
+
+namespace recycledb {
+
+class ColumnVector;
+using ColumnPtr = std::shared_ptr<ColumnVector>;
+
+/// A type-erased columnar value vector.
+///
+/// Storage per TypeId:
+///   kBool   -> std::vector<uint8_t>
+///   kInt32  -> std::vector<int32_t>
+///   kInt64  -> std::vector<int64_t>
+///   kDouble -> std::vector<double>
+///   kString -> std::vector<std::string>
+///   kDate   -> std::vector<int32_t> (days since epoch)
+///
+/// ColumnVectors serve both as batch payloads (typically ~1024 rows) and
+/// as full table columns / materialized recycler-cache results.
+class ColumnVector {
+ public:
+  explicit ColumnVector(TypeId type);
+
+  TypeId type() const { return type_; }
+  int64_t size() const;
+
+  /// Typed access. T must match the storage type for type(); checked.
+  template <typename T>
+  std::vector<T>& Data() {
+    RDB_CHECK_MSG(std::holds_alternative<std::vector<T>>(data_),
+                  "ColumnVector type mismatch");
+    return std::get<std::vector<T>>(data_);
+  }
+  template <typename T>
+  const std::vector<T>& Data() const {
+    RDB_CHECK_MSG(std::holds_alternative<std::vector<T>>(data_),
+                  "ColumnVector type mismatch");
+    return std::get<std::vector<T>>(data_);
+  }
+
+  /// Boxed row access (slow path; used by tests, sorting, fingerprints).
+  Datum GetDatum(int64_t row) const;
+
+  /// Appends a boxed value (type-checked against the column type).
+  void Append(const Datum& value);
+
+  /// Appends rows of `src` selected by `sel` (vectorized gather).
+  void AppendSelected(const ColumnVector& src, const std::vector<int32_t>& sel);
+
+  /// Appends the contiguous row range [offset, offset+count) of `src`.
+  void AppendRange(const ColumnVector& src, int64_t offset, int64_t count);
+
+  /// Appends all rows of `src`.
+  void AppendAll(const ColumnVector& src) { AppendRange(src, 0, src.size()); }
+
+  void Reserve(int64_t n);
+  void Clear();
+
+  /// Approximate heap footprint in bytes (used for recycler-cache sizing).
+  int64_t ByteSize() const;
+
+  /// Hashes row `row` into `seed` (used by hash join/aggregate).
+  uint64_t HashRow(int64_t row, uint64_t seed) const;
+
+  /// True if rows a (in this) and b (in other) hold equal values.
+  bool RowEquals(int64_t a, const ColumnVector& other, int64_t b) const;
+
+ private:
+  TypeId type_;
+  std::variant<std::vector<uint8_t>, std::vector<int32_t>,
+               std::vector<int64_t>, std::vector<double>,
+               std::vector<std::string>>
+      data_;
+};
+
+/// Creates an empty column of the given type.
+ColumnPtr MakeColumn(TypeId type);
+
+}  // namespace recycledb

@@ -1,0 +1,369 @@
+#include "tpch/dbgen.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace recycledb {
+namespace tpch {
+
+const char* const kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+const char* const kNationNames[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+const int kNationRegion[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                               4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "MACHINERY", "HOUSEHOLD"};
+
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECIFIED", "5-LOW"};
+
+const char* const kShipModes[7] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                                   "TRUCK", "MAIL", "FOB"};
+
+const char* const kShipInstruct[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                      "NONE", "TAKE BACK RETURN"};
+
+const char* const kContainers[40] = {
+    "SM CASE",   "SM BOX",   "SM BAG",   "SM JAR",   "SM PKG",
+    "SM PACK",   "SM CAN",   "SM DRUM",  "LG CASE",  "LG BOX",
+    "LG BAG",    "LG JAR",   "LG PKG",   "LG PACK",  "LG CAN",
+    "LG DRUM",   "MED CASE", "MED BOX",  "MED BAG",  "MED JAR",
+    "MED PKG",   "MED PACK", "MED CAN",  "MED DRUM", "JUMBO CASE",
+    "JUMBO BOX", "JUMBO BAG", "JUMBO JAR", "JUMBO PKG", "JUMBO PACK",
+    "JUMBO CAN", "JUMBO DRUM", "WRAP CASE", "WRAP BOX", "WRAP BAG",
+    "WRAP JAR",  "WRAP PKG", "WRAP PACK", "WRAP CAN", "WRAP DRUM"};
+
+const char* const kTypes1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                                "LARGE", "ECONOMY", "PROMO"};
+const char* const kTypes2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                "POLISHED", "BRUSHED"};
+const char* const kTypes3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* const kColors[92] = {
+    "almond",    "antique",   "aquamarine", "azure",     "beige",
+    "bisque",    "black",     "blanched",   "blue",      "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+    "cyan",      "dark",      "deep",       "dim",       "dodger",
+    "drab",      "firebrick", "floral",     "forest",    "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+    "honeydew",  "hot",       "hotpink",    "indian",    "ivory",
+    "khaki",     "lace",      "lavender",   "lawn",      "lemon",
+    "light",     "lime",      "linen",      "magenta",   "maroon",
+    "medium",    "metallic",  "midnight",   "mint",      "misty",
+    "moccasin",  "navajo",    "navy",       "olive",     "orange",
+    "orchid",    "pale",      "papaya",     "peach",     "peru",
+    "pink",      "plum",      "powder",     "puff",      "purple",
+    "red",       "rose",      "rosy",       "royal",     "saddle",
+    "salmon",    "sandy",     "seashell",   "sienna",    "sky",
+    "slate",     "smoke",     "snow",       "spring",    "steel",
+    "tan",       "thistle",   "tomato",     "turquoise", "violet",
+    "wheat",     "white"};
+
+namespace {
+
+const char* const kFillerWords[24] = {
+    "furiously", "quickly",  "carefully", "slyly",    "blithely", "deposits",
+    "packages",  "accounts", "ideas",     "theodolites", "pinto",  "beans",
+    "foxes",     "instructions", "platelets", "requests", "asymptotes",
+    "courts",    "dolphins", "multipliers", "sauternes", "warthogs",
+    "frets",     "dinos"};
+
+std::string RandomWords(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kFillerWords[rng->Uniform(0, 23)];
+  }
+  return out;
+}
+
+double Money(Rng* rng, double lo, double hi) {
+  // Two-decimal money value.
+  int64_t cents = rng->Uniform(static_cast<int64_t>(lo * 100),
+                               static_cast<int64_t>(hi * 100));
+  return static_cast<double>(cents) / 100.0;
+}
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", TypeId::kInt32},
+                 {"r_name", TypeId::kString},
+                 {"r_comment", TypeId::kString}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", TypeId::kInt32},
+                 {"n_name", TypeId::kString},
+                 {"n_regionkey", TypeId::kInt32},
+                 {"n_comment", TypeId::kString}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", TypeId::kInt32},
+                 {"s_name", TypeId::kString},
+                 {"s_address", TypeId::kString},
+                 {"s_nationkey", TypeId::kInt32},
+                 {"s_phone", TypeId::kString},
+                 {"s_acctbal", TypeId::kDouble},
+                 {"s_comment", TypeId::kString}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", TypeId::kInt32},
+                 {"c_name", TypeId::kString},
+                 {"c_address", TypeId::kString},
+                 {"c_nationkey", TypeId::kInt32},
+                 {"c_phone", TypeId::kString},
+                 {"c_cntrycode", TypeId::kString},  // phone country code
+                 {"c_acctbal", TypeId::kDouble},
+                 {"c_mktsegment", TypeId::kString},
+                 {"c_comment", TypeId::kString}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", TypeId::kInt32},
+                 {"p_name", TypeId::kString},
+                 {"p_mfgr", TypeId::kString},
+                 {"p_brand", TypeId::kString},
+                 {"p_type", TypeId::kString},
+                 {"p_size", TypeId::kInt32},
+                 {"p_container", TypeId::kString},
+                 {"p_retailprice", TypeId::kDouble},
+                 {"p_comment", TypeId::kString}});
+}
+
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", TypeId::kInt32},
+                 {"ps_suppkey", TypeId::kInt32},
+                 {"ps_availqty", TypeId::kInt32},
+                 {"ps_supplycost", TypeId::kDouble},
+                 {"ps_comment", TypeId::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", TypeId::kInt32},
+                 {"o_custkey", TypeId::kInt32},
+                 {"o_orderstatus", TypeId::kString},
+                 {"o_totalprice", TypeId::kDouble},
+                 {"o_orderdate", TypeId::kDate},
+                 {"o_orderpriority", TypeId::kString},
+                 {"o_clerk", TypeId::kString},
+                 {"o_shippriority", TypeId::kInt32},
+                 {"o_comment", TypeId::kString}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", TypeId::kInt32},
+                 {"l_partkey", TypeId::kInt32},
+                 {"l_suppkey", TypeId::kInt32},
+                 {"l_linenumber", TypeId::kInt32},
+                 {"l_quantity", TypeId::kDouble},
+                 {"l_extendedprice", TypeId::kDouble},
+                 {"l_discount", TypeId::kDouble},
+                 {"l_tax", TypeId::kDouble},
+                 {"l_returnflag", TypeId::kString},
+                 {"l_linestatus", TypeId::kString},
+                 {"l_shipdate", TypeId::kDate},
+                 {"l_commitdate", TypeId::kDate},
+                 {"l_receiptdate", TypeId::kDate},
+                 {"l_shipinstruct", TypeId::kString},
+                 {"l_shipmode", TypeId::kString},
+                 {"l_comment", TypeId::kString}});
+}
+
+}  // namespace
+
+double ScaleFromEnv(double fallback) {
+  const char* env = std::getenv("RECYCLEDB_SF");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  double sf = std::atof(env);
+  return sf > 0 ? sf : fallback;
+}
+
+void Generate(double scale_factor, Catalog* catalog, uint64_t seed) {
+  RDB_CHECK(scale_factor > 0);
+  Rng rng(seed);
+
+  const int64_t num_supplier =
+      std::max<int64_t>(10, static_cast<int64_t>(10000 * scale_factor));
+  const int64_t num_part =
+      std::max<int64_t>(50, static_cast<int64_t>(200000 * scale_factor));
+  const int64_t num_customer =
+      std::max<int64_t>(30, static_cast<int64_t>(150000 * scale_factor));
+  const int64_t num_orders =
+      std::max<int64_t>(150, static_cast<int64_t>(1500000 * scale_factor));
+  const int32_t kStartDate = MakeDate(1992, 1, 1);
+  const int32_t kEndDate = MakeDate(1998, 8, 2);
+  const int32_t kCurrentDate = MakeDate(1995, 6, 17);
+
+  // --- region / nation --------------------------------------------------
+  TablePtr region = MakeTable(RegionSchema());
+  for (int r = 0; r < 5; ++r) {
+    region->AppendRow({r, std::string(kRegionNames[r]), RandomWords(&rng, 3, 8)});
+  }
+  RDB_CHECK(catalog->RegisterTable("region", region).ok());
+
+  TablePtr nation = MakeTable(NationSchema());
+  for (int n = 0; n < 25; ++n) {
+    nation->AppendRow({n, std::string(kNationNames[n]), kNationRegion[n],
+                       RandomWords(&rng, 3, 8)});
+  }
+  RDB_CHECK(catalog->RegisterTable("nation", nation).ok());
+
+  // --- supplier -----------------------------------------------------------
+  TablePtr supplier = MakeTable(SupplierSchema());
+  for (int64_t s = 1; s <= num_supplier; ++s) {
+    int nk = static_cast<int>(rng.Uniform(0, 24));
+    std::string comment = RandomWords(&rng, 6, 12);
+    // ~1% of suppliers carry the Q16 exclusion needle.
+    if (rng.Uniform(0, 99) == 0) comment += " Customer Complaints";
+    supplier->AppendRow({static_cast<int32_t>(s),
+                         StrFormat("Supplier#%09lld", (long long)s),
+                         RandomWords(&rng, 2, 4), nk,
+                         StrFormat("%02d-%03lld-%03lld-%04lld", nk + 10,
+                                   (long long)rng.Uniform(100, 999),
+                                   (long long)rng.Uniform(100, 999),
+                                   (long long)rng.Uniform(1000, 9999)),
+                         Money(&rng, -999.99, 9999.99), comment});
+  }
+  RDB_CHECK(catalog->RegisterTable("supplier", supplier).ok());
+
+  // --- part ----------------------------------------------------------------
+  TablePtr part = MakeTable(PartSchema());
+  std::vector<double> retail_price(num_part + 1);
+  for (int64_t p = 1; p <= num_part; ++p) {
+    int m = static_cast<int>(rng.Uniform(1, 5));
+    int n = static_cast<int>(rng.Uniform(1, 5));
+    std::string type = std::string(kTypes1[rng.Uniform(0, 5)]) + " " +
+                       kTypes2[rng.Uniform(0, 4)] + " " +
+                       kTypes3[rng.Uniform(0, 4)];
+    // p_name: 5 distinct-ish color words (Q9/Q20 probe with `contains`).
+    std::string name;
+    for (int w = 0; w < 5; ++w) {
+      if (w > 0) name += ' ';
+      name += kColors[rng.Uniform(0, 91)];
+    }
+    double price =
+        (90000.0 + (p % 200001) / 10.0 + 100.0 * (p % 1000)) / 100.0;
+    retail_price[p] = price;
+    part->AppendRow({static_cast<int32_t>(p), name,
+                     StrFormat("Manufacturer#%d", m),
+                     StrFormat("Brand#%d%d", m, n), type,
+                     static_cast<int32_t>(rng.Uniform(1, 50)),
+                     std::string(kContainers[rng.Uniform(0, 39)]), price,
+                     RandomWords(&rng, 2, 5)});
+  }
+  RDB_CHECK(catalog->RegisterTable("part", part).ok());
+
+  // --- partsupp (4 suppliers per part) -------------------------------------
+  TablePtr partsupp = MakeTable(PartsuppSchema());
+  for (int64_t p = 1; p <= num_part; ++p) {
+    for (int s = 0; s < 4; ++s) {
+      // dbgen's supplier spread formula keeps part->supplier joins uniform.
+      int64_t suppkey =
+          (p + (s * ((num_supplier / 4) + (p - 1) / num_supplier))) %
+              num_supplier +
+          1;
+      partsupp->AppendRow({static_cast<int32_t>(p),
+                           static_cast<int32_t>(suppkey),
+                           static_cast<int32_t>(rng.Uniform(1, 9999)),
+                           Money(&rng, 1.0, 1000.0), RandomWords(&rng, 4, 10)});
+    }
+  }
+  RDB_CHECK(catalog->RegisterTable("partsupp", partsupp).ok());
+
+  // --- customer ---------------------------------------------------------
+  TablePtr customer = MakeTable(CustomerSchema());
+  for (int64_t c = 1; c <= num_customer; ++c) {
+    int nk = static_cast<int>(rng.Uniform(0, 24));
+    std::string code = StrFormat("%02d", nk + 10);
+    customer->AppendRow({static_cast<int32_t>(c),
+                         StrFormat("Customer#%09lld", (long long)c),
+                         RandomWords(&rng, 2, 4), nk,
+                         code + StrFormat("-%03lld-%03lld-%04lld",
+                                          (long long)rng.Uniform(100, 999),
+                                          (long long)rng.Uniform(100, 999),
+                                          (long long)rng.Uniform(1000, 9999)),
+                         code, Money(&rng, -999.99, 9999.99),
+                         std::string(kSegments[rng.Uniform(0, 4)]),
+                         RandomWords(&rng, 6, 12)});
+  }
+  RDB_CHECK(catalog->RegisterTable("customer", customer).ok());
+
+  // --- orders + lineitem --------------------------------------------------
+  TablePtr orders = MakeTable(OrdersSchema());
+  TablePtr lineitem = MakeTable(LineitemSchema());
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    int32_t custkey = static_cast<int32_t>(rng.Uniform(1, num_customer));
+    int32_t orderdate = static_cast<int32_t>(
+        rng.Uniform(kStartDate, kEndDate - 151));
+    int nlines = static_cast<int>(rng.Uniform(1, 7));
+    double totalprice = 0;
+    int finished = 0;
+    for (int l = 1; l <= nlines; ++l) {
+      int32_t partkey = static_cast<int32_t>(rng.Uniform(1, num_part));
+      // Pick one of the part's 4 suppliers, mirroring the partsupp spread.
+      int s = static_cast<int>(rng.Uniform(0, 3));
+      int64_t suppkey =
+          (partkey +
+           (s * ((num_supplier / 4) + (partkey - 1) / num_supplier))) %
+              num_supplier +
+          1;
+      double quantity = static_cast<double>(rng.Uniform(1, 50));
+      double extprice = quantity * retail_price[partkey];
+      double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+      int32_t shipdate = orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+      int32_t commitdate =
+          orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+      int32_t receiptdate =
+          shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+      std::string returnflag;
+      if (receiptdate <= kCurrentDate) {
+        returnflag = rng.Uniform(0, 1) == 0 ? "R" : "A";
+      } else {
+        returnflag = "N";
+      }
+      std::string linestatus = shipdate > kCurrentDate ? "O" : "F";
+      if (linestatus == "F") ++finished;
+      totalprice += extprice * (1.0 - discount) * (1.0 + tax);
+      lineitem->AppendRow({static_cast<int32_t>(o), partkey,
+                           static_cast<int32_t>(suppkey),
+                           static_cast<int32_t>(l), quantity, extprice,
+                           discount, tax, returnflag, linestatus, shipdate,
+                           commitdate, receiptdate,
+                           std::string(kShipInstruct[rng.Uniform(0, 3)]),
+                           std::string(kShipModes[rng.Uniform(0, 6)]),
+                           RandomWords(&rng, 2, 6)});
+    }
+    std::string status = finished == nlines ? "F"
+                         : finished == 0    ? "O"
+                                            : "P";
+    std::string comment = RandomWords(&rng, 5, 10);
+    // ~1% of orders carry the Q13 "special ... requests" needle.
+    if (rng.Uniform(0, 99) == 0) comment += " special packages requests";
+    orders->AppendRow({static_cast<int32_t>(o), custkey, status, totalprice,
+                       orderdate, std::string(kPriorities[rng.Uniform(0, 4)]),
+                       StrFormat("Clerk#%09lld", (long long)rng.Uniform(
+                                                     1, num_orders / 1000 + 1)),
+                       0, comment});
+  }
+  RDB_CHECK(catalog->RegisterTable("orders", orders).ok());
+  RDB_CHECK(catalog->RegisterTable("lineitem", lineitem).ok());
+}
+
+}  // namespace tpch
+}  // namespace recycledb

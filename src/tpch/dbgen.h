@@ -1,0 +1,47 @@
+// TPC-H data generator (dbgen re-implementation, scaled down).
+//
+// Generates the 8 TPC-H tables with spec-conformant cardinalities,
+// key relationships, value domains and date rules. Text columns use
+// reduced word pools (documented substitution: full dbgen grammar text is
+// replaced by word sequences with the needles the queries probe for
+// injected at controlled rates - e.g. "special ... requests" in o_comment
+// for Q13, "Customer ... Complaints" in s_comment for Q16, color words in
+// p_name for Q9/Q20).
+#pragma once
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace recycledb {
+namespace tpch {
+
+/// Generates all 8 TPC-H tables at `scale_factor` into `catalog`.
+/// Deterministic for a given (scale_factor, seed).
+///
+/// Cardinalities (x scale_factor): supplier 10k, part 200k, partsupp 800k,
+/// customer 150k, orders 1.5M, lineitem ~6M; region 5 and nation 25 fixed.
+void Generate(double scale_factor, Catalog* catalog, uint64_t seed = 19920401);
+
+/// Reads the scale factor from the RECYCLEDB_SF env var (default `fallback`).
+double ScaleFromEnv(double fallback = 0.02);
+
+/// The 25 nation names (index = nationkey) and their region keys.
+extern const char* const kNationNames[25];
+extern const int kNationRegion[25];
+/// The 5 region names (index = regionkey).
+extern const char* const kRegionNames[5];
+
+/// Query-parameter word pools (shared with qgen).
+extern const char* const kSegments[5];       // c_mktsegment
+extern const char* const kPriorities[5];     // o_orderpriority
+extern const char* const kShipModes[7];      // l_shipmode
+extern const char* const kShipInstruct[4];   // l_shipinstruct
+extern const char* const kContainers[40];    // p_container
+extern const char* const kTypes1[6];         // p_type word 1
+extern const char* const kTypes2[5];         // p_type word 2
+extern const char* const kTypes3[5];         // p_type word 3
+extern const char* const kColors[92];        // p_name colors
+
+}  // namespace tpch
+}  // namespace recycledb

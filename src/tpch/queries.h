@@ -1,0 +1,38 @@
+// The 22 TPC-H query patterns as optimized logical plans.
+//
+// Plans are hand-written in the shape a cost-based optimizer would emit
+// (decorrelated subqueries, selections pushed down, build sides on the
+// smaller input). This matches the paper's setting: the recycler graph
+// only stores the optimizer's chosen plan per query (no OR-edges), so the
+// plans below are exactly the recycler's input. Semantic simplifications
+// versus SQL TPC-H are documented per builder (NULL-free engine, LIKE as
+// word containment, COUNT(DISTINCT) as two-level aggregation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace recycledb {
+namespace tpch {
+
+/// Substitution parameters for one query invocation. Fields are generic
+/// slots; each builder documents which it reads.
+struct QueryParams {
+  int64_t i1 = 0, i2 = 0, i3 = 0;
+  double d1 = 0;
+  int32_t date1 = 0, date2 = 0;
+  std::string s1, s2, s3;
+  std::vector<std::string> strs;
+};
+
+/// Builds the plan for TPC-H query `query` (1..22) with parameters `p`.
+/// `scale_factor` parameterizes Q11's FRACTION.
+PlanPtr BuildQuery(int query, const QueryParams& p, double scale_factor);
+
+/// Number of query patterns (22).
+inline constexpr int kNumQueries = 22;
+
+}  // namespace tpch
+}  // namespace recycledb

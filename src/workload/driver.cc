@@ -1,0 +1,106 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace recycledb {
+namespace workload {
+
+double RunReport::AvgStreamMs() const {
+  if (stream_ms.empty()) return 0;
+  double sum = 0;
+  for (double ms : stream_ms) sum += ms;
+  return sum / static_cast<double>(stream_ms.size());
+}
+
+double RunReport::TotalQueryMs() const {
+  double sum = 0;
+  for (const auto& r : records) sum += r.end_ms - r.start_ms;
+  return sum;
+}
+
+RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
+                     int max_concurrent) {
+  RunReport report;
+  report.stream_ms.assign(streams.size(), 0.0);
+  std::mutex report_mu;
+
+  const int num_threads =
+      std::max(1, std::min<int>(max_concurrent,
+                                static_cast<int>(streams.size())));
+  Stopwatch run_sw;
+  {
+    ThreadPool pool(num_threads);
+    for (size_t s = 0; s < streams.size(); ++s) {
+      pool.Submit([&, s] {
+        const StreamSpec& spec = streams[s];
+        Stopwatch stream_sw;
+        double stream_start = run_sw.ElapsedMs();
+        for (size_t q = 0; q < spec.plans.size(); ++q) {
+          QueryRecord rec;
+          rec.stream = static_cast<int>(s);
+          rec.index = static_cast<int>(q);
+          rec.label = spec.labels[q];
+          rec.start_ms = run_sw.ElapsedMs();
+          ExecResult result = recycler->Execute(spec.plans[q], &rec.trace);
+          rec.end_ms = run_sw.ElapsedMs();
+          rec.result_rows = result.table->num_rows();
+          std::lock_guard<std::mutex> lock(report_mu);
+          report.records.push_back(std::move(rec));
+        }
+        std::lock_guard<std::mutex> lock(report_mu);
+        report.stream_ms[s] = run_sw.ElapsedMs() - stream_start;
+      });
+    }
+    pool.WaitIdle();
+  }
+  report.wall_ms = run_sw.ElapsedMs();
+
+  for (const auto& r : report.records) {
+    LabelStats& ls = report.by_label[r.label];
+    ++ls.count;
+    ls.total_ms += r.end_ms - r.start_ms;
+  }
+  std::sort(report.records.begin(), report.records.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return report;
+}
+
+std::string FormatTrace(const RunReport& report) {
+  std::string out;
+  out += "time(ms)  stream  query        dur(ms)  events\n";
+  for (const auto& r : report.records) {
+    std::string events;
+    if (r.trace.num_reuses > 0) {
+      events += StrFormat("reused:%d ", r.trace.num_reuses);
+    }
+    if (r.trace.num_subsumption_reuses > 0) {
+      events += StrFormat("(subsumed:%d) ", r.trace.num_subsumption_reuses);
+    }
+    if (r.trace.num_materialized > 0) {
+      events += StrFormat("materialized:%d ", r.trace.num_materialized);
+    }
+    if (r.trace.num_spec_aborted > 0) {
+      events += StrFormat("spec-aborted:%d ", r.trace.num_spec_aborted);
+    }
+    if (r.trace.num_stalls > 0) {
+      events += StrFormat("stalled:%d(%.1fms) ", r.trace.num_stalls,
+                          r.trace.stall_ms);
+    }
+    if (r.trace.used_proactive) events += "proactive ";
+    if (events.empty()) events = "-";
+    out += StrFormat("%8.1f  S%-5d  %-11s  %7.1f  %s\n", r.start_ms,
+                     r.stream + 1, r.label.c_str(), r.end_ms - r.start_ms,
+                     events.c_str());
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace recycledb

@@ -1,0 +1,62 @@
+// Multi-stream throughput driver (§V TPC-H evaluation harness).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "recycler/recycler.h"
+
+namespace recycledb {
+namespace workload {
+
+/// One query stream: an ordered list of (label, plan) pairs executed
+/// sequentially by a single server thread.
+struct StreamSpec {
+  std::vector<std::string> labels;
+  std::vector<PlanPtr> plans;
+};
+
+/// Per-query record (drives the Fig. 8 breakdown and the Fig. 9 trace).
+struct QueryRecord {
+  int stream = 0;
+  int index = 0;
+  std::string label;
+  double start_ms = 0;  // relative to the run start
+  double end_ms = 0;
+  int64_t result_rows = 0;
+  QueryTrace trace;
+};
+
+/// Per-label aggregate.
+struct LabelStats {
+  int64_t count = 0;
+  double total_ms = 0;
+  double AvgMs() const { return count == 0 ? 0 : total_ms / count; }
+};
+
+/// Result of a throughput run.
+struct RunReport {
+  double wall_ms = 0;
+  /// Per-stream time from its first query issued to its last result
+  /// (the paper's stream evaluation time).
+  std::vector<double> stream_ms;
+  std::vector<QueryRecord> records;
+  std::map<std::string, LabelStats> by_label;
+
+  double AvgStreamMs() const;
+  double TotalQueryMs() const;
+};
+
+/// Runs `streams` against `recycler` with at most `max_concurrent`
+/// simultaneously executing queries (the paper caps Vectorwise at 12).
+/// Streams beyond the cap queue, as in the paper's setup.
+RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
+                     int max_concurrent = 12);
+
+/// Formats a Fig. 9-style trace of `report` (who materialized / reused /
+/// stalled, per stream and query).
+std::string FormatTrace(const RunReport& report);
+
+}  // namespace workload
+}  // namespace recycledb

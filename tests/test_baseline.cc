@@ -1,0 +1,130 @@
+// Tests for the MonetDB-style operator-at-a-time keep-all baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/keepall.h"
+#include "recycler/recycler.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+class KeepAllTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+    TablePtr t = MakeTable(s);
+    for (int i = 0; i < 10000; ++i) {
+      t->AppendRow({int32_t{i % 64}, static_cast<double>(i)});
+    }
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+  }
+
+  PlanPtr AggPlan(int64_t threshold) {
+    return PlanNode::Aggregate(
+        PlanNode::Select(
+            PlanNode::Scan("t", {"k", "v"}),
+            Expr::Gt(Expr::Column("k"), Expr::Literal(threshold))),
+        {"k"}, {{AggFunc::kSum, Expr::Column("v"), "sv"}});
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(KeepAllTest, MatchesPipelinedResults) {
+  KeepAllEngine keepall(&catalog_, {});
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kOff;
+  Recycler off(&catalog_, cfg);
+  PlanPtr a = AggPlan(10), b = AggPlan(10);
+  TablePtr r1 = keepall.Execute(a);
+  TablePtr r2 = off.Execute(b).table;
+  EXPECT_EQ(recycledb::testing::RowMultiset(*r1),
+            recycledb::testing::RowMultiset(*r2));
+}
+
+TEST_F(KeepAllTest, CachesEveryIntermediate) {
+  KeepAllEngine keepall(&catalog_, {});
+  keepall.Execute(AggPlan(10));
+  KeepAllStats s = keepall.stats();
+  // Scan + select + aggregate all cached (the MonetDB property).
+  EXPECT_EQ(s.cached_entries, 3);
+  EXPECT_EQ(s.node_misses, 3);
+  EXPECT_EQ(s.node_hits, 0);
+}
+
+TEST_F(KeepAllTest, ReusesFromFirstComputation) {
+  KeepAllEngine keepall(&catalog_, {});
+  keepall.Execute(AggPlan(10));
+  keepall.Execute(AggPlan(10));  // second run: full hit at the root
+  KeepAllStats s = keepall.stats();
+  EXPECT_GE(s.node_hits, 1);
+  EXPECT_EQ(s.node_misses, 3);  // nothing recomputed
+}
+
+TEST_F(KeepAllTest, SharedScanAcrossDifferentQueries) {
+  KeepAllEngine keepall(&catalog_, {});
+  keepall.Execute(AggPlan(10));
+  keepall.Execute(AggPlan(20));  // shares the scan intermediate
+  KeepAllStats s = keepall.stats();
+  EXPECT_GE(s.node_hits, 1);     // the scan
+  EXPECT_EQ(s.node_misses, 5);   // 3 + new select + new agg
+}
+
+TEST_F(KeepAllTest, FootprintMuchLargerThanPipelinedRecycler) {
+  // The keep-all cache holds full scan copies; the pipelined recycler
+  // holds only the selected small results (the Fig. 6 footprint story).
+  KeepAllEngine keepall(&catalog_, {});
+  keepall.Execute(AggPlan(10));
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(&catalog_, cfg);
+  rec.Execute(AggPlan(10));
+  EXPECT_GT(keepall.stats().cached_bytes,
+            4 * rec.graph().Stats().cached_bytes);
+}
+
+TEST_F(KeepAllTest, BoundedCacheEvictsByBenefit) {
+  // Budget fits the scan copy OR a select copy, but not both: the second
+  // query's intermediates must push something out.
+  KeepAllEngine::Config cfg;
+  cfg.cache_bytes = 192 << 10;
+  KeepAllEngine keepall(&catalog_, cfg);
+  keepall.Execute(AggPlan(10));
+  keepall.Execute(AggPlan(20));
+  KeepAllStats s = keepall.stats();
+  EXPECT_LE(s.cached_bytes, 192 << 10);
+  EXPECT_GE(s.evictions, 1);
+}
+
+TEST_F(KeepAllTest, OversizedIntermediatesAreSkippedNotFatal) {
+  KeepAllEngine::Config cfg;
+  cfg.cache_bytes = 1 << 10;  // smaller than the scan/select copies
+  KeepAllEngine keepall(&catalog_, cfg);
+  TablePtr r = keepall.Execute(AggPlan(10));
+  EXPECT_GT(r->num_rows(), 0);
+  // Only the tiny aggregate result can fit; the big copies are skipped.
+  EXPECT_LE(keepall.stats().cached_bytes, 1 << 10);
+  EXPECT_LE(keepall.stats().cached_entries, 1);
+}
+
+TEST_F(KeepAllTest, RecyclingOffIsNaive) {
+  KeepAllEngine::Config cfg;
+  cfg.recycling = false;
+  KeepAllEngine naive(&catalog_, cfg);
+  naive.Execute(AggPlan(10));
+  naive.Execute(AggPlan(10));
+  KeepAllStats s = naive.stats();
+  EXPECT_EQ(s.node_hits, 0);
+  EXPECT_EQ(s.cached_entries, 0);
+}
+
+TEST_F(KeepAllTest, FlushForcesRecomputation) {
+  KeepAllEngine keepall(&catalog_, {});
+  keepall.Execute(AggPlan(10));
+  keepall.FlushCache();
+  keepall.Execute(AggPlan(10));
+  EXPECT_EQ(keepall.stats().node_misses, 6);
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,216 @@
+// Unit tests for src/expr: evaluation, type deduction, fingerprints,
+// renaming, conjunct splitting, aggregate decomposition.
+#include <gtest/gtest.h>
+
+#include "expr/aggregate.h"
+#include "expr/expression.h"
+
+namespace recycledb {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"a", TypeId::kInt32},
+                 {"b", TypeId::kDouble},
+                 {"s", TypeId::kString},
+                 {"d", TypeId::kDate}});
+}
+
+Batch TestBatch() {
+  Batch batch;
+  batch.columns = {MakeColumn(TypeId::kInt32), MakeColumn(TypeId::kDouble),
+                   MakeColumn(TypeId::kString), MakeColumn(TypeId::kDate)};
+  auto add = [&](int32_t a, double b, const char* s, int32_t d) {
+    batch.columns[0]->Append(Datum(a));
+    batch.columns[1]->Append(Datum(b));
+    batch.columns[2]->Append(Datum(std::string(s)));
+    batch.columns[3]->Append(Datum(d));
+    ++batch.num_rows;
+  };
+  add(1, 1.5, "apple pie", MakeDate(1995, 3, 15));
+  add(2, 2.5, "banana", MakeDate(1996, 7, 1));
+  add(3, 3.5, "apple tart", MakeDate(1997, 1, 20));
+  return batch;
+}
+
+TEST(ExprEvalTest, ColumnRef) {
+  Batch b = TestBatch();
+  ColumnPtr c = Expr::Column("a")->Eval(b, TestSchema());
+  EXPECT_EQ(c->Data<int32_t>()[2], 3);
+}
+
+TEST(ExprEvalTest, Arithmetic) {
+  Batch b = TestBatch();
+  // a * 2 + b  -> double
+  ExprPtr e = Expr::Arith(
+      ArithOp::kAdd,
+      Expr::Arith(ArithOp::kMul, Expr::Column("a"), Expr::Literal(int64_t{2})),
+      Expr::Column("b"));
+  EXPECT_EQ(e->DeduceType(TestSchema()), TypeId::kDouble);
+  ColumnPtr c = e->Eval(b, TestSchema());
+  EXPECT_DOUBLE_EQ(c->Data<double>()[1], 6.5);
+}
+
+TEST(ExprEvalTest, IntegerDivisionAndZeroGuard) {
+  Batch b = TestBatch();
+  ExprPtr e = Expr::Arith(ArithOp::kDiv, Expr::Literal(int64_t{10}),
+                          Expr::Literal(int64_t{0}));
+  ColumnPtr c = e->Eval(b, TestSchema());
+  EXPECT_EQ(c->Data<int64_t>()[0], 0);  // div-by-zero yields 0, not UB
+}
+
+TEST(ExprEvalTest, ComparisonsNumericAndString) {
+  Batch b = TestBatch();
+  auto sel1 = Expr::Gt(Expr::Column("a"), Expr::Literal(int64_t{1}))
+                  ->EvalSelection(b, TestSchema());
+  EXPECT_EQ(sel1, (std::vector<int32_t>{1, 2}));
+  auto sel2 = Expr::Eq(Expr::Column("s"), Expr::Literal(std::string("banana")))
+                  ->EvalSelection(b, TestSchema());
+  EXPECT_EQ(sel2, (std::vector<int32_t>{1}));
+}
+
+TEST(ExprEvalTest, LogicalOps) {
+  Batch b = TestBatch();
+  ExprPtr both = Expr::And(Expr::Ge(Expr::Column("a"), Expr::Literal(int64_t{2})),
+                           Expr::Lt(Expr::Column("b"), Expr::Literal(3.0)));
+  EXPECT_EQ(both->EvalSelection(b, TestSchema()), (std::vector<int32_t>{1}));
+  ExprPtr either = Expr::Or(Expr::Eq(Expr::Column("a"), Expr::Literal(int64_t{1})),
+                            Expr::Eq(Expr::Column("a"), Expr::Literal(int64_t{3})));
+  EXPECT_EQ(either->EvalSelection(b, TestSchema()),
+            (std::vector<int32_t>{0, 2}));
+  ExprPtr neither = Expr::Not(either);
+  EXPECT_EQ(neither->EvalSelection(b, TestSchema()), (std::vector<int32_t>{1}));
+}
+
+TEST(ExprEvalTest, DateYearMonthFunctions) {
+  Batch b = TestBatch();
+  ColumnPtr y = Expr::Func("year", {Expr::Column("d")})->Eval(b, TestSchema());
+  EXPECT_EQ(y->Data<int32_t>()[0], 1995);
+  EXPECT_EQ(y->Data<int32_t>()[2], 1997);
+  ColumnPtr m = Expr::Func("month", {Expr::Column("d")})->Eval(b, TestSchema());
+  EXPECT_EQ(m->Data<int32_t>()[1], 7);
+}
+
+TEST(ExprEvalTest, BinFunctionFloorDivision) {
+  Batch b = TestBatch();
+  ExprPtr e = Expr::Func("bin", {Expr::Column("a"), Expr::Literal(int64_t{2})});
+  ColumnPtr c = e->Eval(b, TestSchema());
+  EXPECT_EQ(c->Data<int64_t>()[0], 0);  // 1/2
+  EXPECT_EQ(c->Data<int64_t>()[1], 1);  // 2/2
+  EXPECT_EQ(c->Data<int64_t>()[2], 1);  // 3/2
+}
+
+TEST(ExprEvalTest, CaseWhen) {
+  Batch b = TestBatch();
+  ExprPtr e = Expr::Case(Expr::Gt(Expr::Column("a"), Expr::Literal(int64_t{1})),
+                         Expr::Column("b"), Expr::Literal(0.0));
+  ColumnPtr c = e->Eval(b, TestSchema());
+  EXPECT_DOUBLE_EQ(c->Data<double>()[0], 0.0);
+  EXPECT_DOUBLE_EQ(c->Data<double>()[2], 3.5);
+}
+
+TEST(ExprEvalTest, InList) {
+  Batch b = TestBatch();
+  ExprPtr e = Expr::In(Expr::Column("s"),
+                       {std::string("banana"), std::string("cherry")});
+  EXPECT_EQ(e->EvalSelection(b, TestSchema()), (std::vector<int32_t>{1}));
+}
+
+TEST(ExprEvalTest, LikeVariants) {
+  Batch b = TestBatch();
+  EXPECT_EQ(Expr::Like(LikeKind::kContains, Expr::Column("s"), "apple")
+                ->EvalSelection(b, TestSchema()),
+            (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(Expr::Like(LikeKind::kPrefix, Expr::Column("s"), "ban")
+                ->EvalSelection(b, TestSchema()),
+            (std::vector<int32_t>{1}));
+  EXPECT_EQ(Expr::Like(LikeKind::kSuffix, Expr::Column("s"), "pie")
+                ->EvalSelection(b, TestSchema()),
+            (std::vector<int32_t>{0}));
+  EXPECT_EQ(Expr::Like(LikeKind::kNotContains, Expr::Column("s"), "apple")
+                ->EvalSelection(b, TestSchema()),
+            (std::vector<int32_t>{1}));
+}
+
+TEST(ExprFingerprintTest, StructuralIdentity) {
+  ExprPtr a = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{5}));
+  ExprPtr b = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{5}));
+  ExprPtr c = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{6}));
+  EXPECT_EQ(a->Fingerprint(nullptr), b->Fingerprint(nullptr));
+  EXPECT_NE(a->Fingerprint(nullptr), c->Fingerprint(nullptr));
+}
+
+TEST(ExprFingerprintTest, MappingSubstitutesColumns) {
+  ExprPtr e = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{5}));
+  NameMap m{{"x", "x#12"}};
+  EXPECT_EQ(e->Fingerprint(&m), "(> c:x#12 l:5)");
+  EXPECT_EQ(e->Fingerprint(nullptr), "(> c:x l:5)");
+}
+
+TEST(ExprFingerprintTest, AnonymizedShapeEqualAcrossNames) {
+  ExprPtr a = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{5}));
+  ExprPtr b = Expr::Gt(Expr::Column("y"), Expr::Literal(int64_t{5}));
+  EXPECT_EQ(a->Fingerprint(nullptr, true), b->Fingerprint(nullptr, true));
+  // But different literals still differ (hash-key selectivity).
+  ExprPtr c = Expr::Gt(Expr::Column("y"), Expr::Literal(int64_t{6}));
+  EXPECT_NE(a->Fingerprint(nullptr, true), c->Fingerprint(nullptr, true));
+}
+
+TEST(ExprRenameTest, RenamesAllReferences) {
+  ExprPtr e = Expr::And(Expr::Gt(Expr::Column("x"), Expr::Column("y")),
+                        Expr::Eq(Expr::Column("x"), Expr::Literal(int64_t{1})));
+  ExprPtr r = e->Rename({{"x", "u"}});
+  std::set<std::string> cols;
+  r->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"u", "y"}));
+}
+
+TEST(ExprConjunctsTest, SplitAndRebuild) {
+  ExprPtr a = Expr::Gt(Expr::Column("x"), Expr::Literal(int64_t{1}));
+  ExprPtr b = Expr::Lt(Expr::Column("y"), Expr::Literal(int64_t{2}));
+  ExprPtr c = Expr::Eq(Expr::Column("z"), Expr::Literal(int64_t{3}));
+  ExprPtr all = Expr::And(Expr::And(a, b), c);
+  auto parts = SplitConjuncts(all);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0]->Fingerprint(nullptr), a->Fingerprint(nullptr));
+  ExprPtr rebuilt = AndAll(parts);
+  EXPECT_EQ(rebuilt->Fingerprint(nullptr), all->Fingerprint(nullptr));
+  // OR is not split.
+  EXPECT_EQ(SplitConjuncts(Expr::Or(a, b)).size(), 1u);
+  EXPECT_EQ(AndAll({}), nullptr);
+}
+
+TEST(AggregateTest, ResultTypes) {
+  EXPECT_EQ(AggResultType(AggFunc::kSum, TypeId::kInt32), TypeId::kInt64);
+  EXPECT_EQ(AggResultType(AggFunc::kSum, TypeId::kDouble), TypeId::kDouble);
+  EXPECT_EQ(AggResultType(AggFunc::kCount, TypeId::kString), TypeId::kInt64);
+  EXPECT_EQ(AggResultType(AggFunc::kAvg, TypeId::kInt32), TypeId::kDouble);
+  EXPECT_EQ(AggResultType(AggFunc::kMin, TypeId::kDate), TypeId::kDate);
+}
+
+TEST(AggregateTest, DecomposeSumCountMinMax) {
+  AggItem sum{AggFunc::kSum, Expr::Column("v"), "s"};
+  AggDecomposition d = DecomposeAggregate(sum, "p");
+  ASSERT_EQ(d.partials.size(), 1u);
+  EXPECT_EQ(d.reaggs[0], AggFunc::kSum);
+  EXPECT_EQ(d.final_expr, nullptr);
+
+  AggItem cnt{AggFunc::kCount, Expr::Literal(int64_t{1}), "c"};
+  d = DecomposeAggregate(cnt, "p");
+  EXPECT_EQ(d.reaggs[0], AggFunc::kSum);  // count of union = sum of counts
+
+  AggItem mn{AggFunc::kMin, Expr::Column("v"), "m"};
+  d = DecomposeAggregate(mn, "p");
+  EXPECT_EQ(d.reaggs[0], AggFunc::kMin);
+}
+
+TEST(AggregateTest, DecomposeAvgNeedsSumAndCount) {
+  AggItem avg{AggFunc::kAvg, Expr::Column("v"), "a"};
+  AggDecomposition d = DecomposeAggregate(avg, "p");
+  ASSERT_EQ(d.partials.size(), 2u);
+  EXPECT_EQ(d.partials[0].fn, AggFunc::kSum);
+  EXPECT_EQ(d.partials[1].fn, AggFunc::kCount);
+  ASSERT_NE(d.final_expr, nullptr);
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,256 @@
+// Unit tests for src/exec operators: scan, filter, project, limit, union,
+// sort, top-N, hash aggregate, hash join (all kinds), progress meters.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // orders-like table: key, group, value.
+    Schema s({{"k", TypeId::kInt32},
+              {"g", TypeId::kString},
+              {"v", TypeId::kDouble}});
+    TablePtr t = MakeTable(s);
+    for (int i = 0; i < 5000; ++i) {
+      t->AppendRow({int32_t{i}, std::string(i % 3 == 0 ? "a" : "b"),
+                    static_cast<double>(i % 100)});
+    }
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+
+    Schema dim({{"dk", TypeId::kInt32}, {"name", TypeId::kString}});
+    TablePtr d = MakeTable(dim);
+    // Only even keys < 100 appear in the dimension.
+    for (int i = 0; i < 100; i += 2) {
+      d->AppendRow({int32_t{i}, std::string("dim") + std::to_string(i)});
+    }
+    ASSERT_TRUE(catalog_.RegisterTable("dim", d).ok());
+  }
+
+  TablePtr Run(PlanPtr plan) {
+    plan->Bind(catalog_);
+    Executor exec(&catalog_);
+    return exec.Run(plan).table;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(OperatorTest, ScanAllRowsInBatches) {
+  TablePtr r = Run(PlanNode::Scan("t", {"k"}));
+  EXPECT_EQ(r->num_rows(), 5000);
+  EXPECT_EQ(std::get<int32_t>(r->Get(4999, 0)), 4999);
+}
+
+TEST_F(OperatorTest, FilterSelectivity) {
+  TablePtr r = Run(PlanNode::Select(
+      PlanNode::Scan("t", {"k", "g"}),
+      Expr::Eq(Expr::Column("g"), Expr::Literal(std::string("a")))));
+  EXPECT_EQ(r->num_rows(), 1667);  // ceil(5000/3)
+}
+
+TEST_F(OperatorTest, FilterNoMatches) {
+  TablePtr r = Run(PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{0}))));
+  EXPECT_EQ(r->num_rows(), 0);
+}
+
+TEST_F(OperatorTest, ProjectComputesExpressions) {
+  TablePtr r = Run(PlanNode::Project(
+      PlanNode::Scan("t", {"k", "v"}),
+      {{Expr::Arith(ArithOp::kAdd, Expr::Column("v"), Expr::Literal(1.0)),
+        "v1"}}));
+  EXPECT_EQ(r->num_rows(), 5000);
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(5, 0)), 6.0);
+}
+
+TEST_F(OperatorTest, LimitStopsEarly) {
+  TablePtr r = Run(PlanNode::Limit(PlanNode::Scan("t", {"k"}), 10));
+  EXPECT_EQ(r->num_rows(), 10);
+  // Limit smaller than one batch and larger than the table both work.
+  EXPECT_EQ(Run(PlanNode::Limit(PlanNode::Scan("t", {"k"}), 100000))
+                ->num_rows(),
+            5000);
+}
+
+TEST_F(OperatorTest, UnionAllConcatenates) {
+  TablePtr r = Run(PlanNode::UnionAll(
+      {PlanNode::Scan("t", {"k"}), PlanNode::Scan("t", {"k"})}));
+  EXPECT_EQ(r->num_rows(), 10000);
+}
+
+TEST_F(OperatorTest, OrderBySortsAscDesc) {
+  TablePtr r = Run(PlanNode::OrderBy(
+      PlanNode::Scan("t", {"v", "k"}),
+      {{"v", false}, {"k", true}}));
+  ASSERT_EQ(r->num_rows(), 5000);
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(0, 0)), 99.0);
+  // Within equal v, k ascends.
+  EXPECT_LT(std::get<int32_t>(r->Get(0, 1)), std::get<int32_t>(r->Get(1, 1)));
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(4999, 0)), 0.0);
+}
+
+TEST_F(OperatorTest, TopNMatchesFullSortPrefix) {
+  PlanPtr sorted = PlanNode::OrderBy(PlanNode::Scan("t", {"v", "k"}),
+                                     {{"v", true}, {"k", true}});
+  PlanPtr top = PlanNode::TopN(PlanNode::Scan("t", {"v", "k"}),
+                               {{"v", true}, {"k", true}}, 37);
+  TablePtr rs = Run(sorted);
+  TablePtr rt = Run(top);
+  ASSERT_EQ(rt->num_rows(), 37);
+  for (int64_t i = 0; i < 37; ++i) {
+    EXPECT_EQ(recycledb::testing::RowKey(*rs, i),
+              recycledb::testing::RowKey(*rt, i));
+  }
+}
+
+TEST_F(OperatorTest, TopNLargerThanInput) {
+  TablePtr r = Run(PlanNode::TopN(
+      PlanNode::Select(PlanNode::Scan("t", {"k"}),
+                       Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{5}))),
+      {{"k", false}}, 100));
+  EXPECT_EQ(r->num_rows(), 5);
+  EXPECT_EQ(std::get<int32_t>(r->Get(0, 0)), 4);
+}
+
+TEST_F(OperatorTest, HashAggGlobal) {
+  TablePtr r = Run(PlanNode::Aggregate(
+      PlanNode::Scan("t", {"v"}), {},
+      {{AggFunc::kSum, Expr::Column("v"), "s"},
+       {AggFunc::kCount, Expr::Literal(int64_t{1}), "c"},
+       {AggFunc::kMin, Expr::Column("v"), "mn"},
+       {AggFunc::kMax, Expr::Column("v"), "mx"},
+       {AggFunc::kAvg, Expr::Column("v"), "av"}}));
+  ASSERT_EQ(r->num_rows(), 1);
+  // 5000 rows of i%100: 50 full cycles of 0..99 -> sum = 50*4950.
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(0, 0)), 50 * 4950.0);
+  EXPECT_EQ(std::get<int64_t>(r->Get(0, 1)), 5000);
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(0, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(0, 3)), 99.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r->Get(0, 4)), 49.5);
+}
+
+TEST_F(OperatorTest, HashAggGlobalOnEmptyInputEmitsOneRow) {
+  TablePtr r = Run(PlanNode::Aggregate(
+      PlanNode::Select(PlanNode::Scan("t", {"v"}),
+                       Expr::Lt(Expr::Column("v"), Expr::Literal(-1.0))),
+      {}, {{AggFunc::kCount, Expr::Literal(int64_t{1}), "c"}}));
+  ASSERT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(std::get<int64_t>(r->Get(0, 0)), 0);
+}
+
+TEST_F(OperatorTest, HashAggGrouped) {
+  TablePtr r = Run(PlanNode::Aggregate(
+      PlanNode::Scan("t", {"g", "v"}), {"g"},
+      {{AggFunc::kCount, Expr::Literal(int64_t{1}), "c"}}));
+  ASSERT_EQ(r->num_rows(), 2);
+  int64_t total = 0;
+  for (int64_t i = 0; i < 2; ++i) total += std::get<int64_t>(r->Get(i, 1));
+  EXPECT_EQ(total, 5000);
+}
+
+TEST_F(OperatorTest, HashAggIntegerSumStaysIntegral) {
+  TablePtr r = Run(PlanNode::Aggregate(
+      PlanNode::Scan("t", {"k"}), {},
+      {{AggFunc::kSum, Expr::Column("k"), "s"}}));
+  EXPECT_EQ(std::get<int64_t>(r->Get(0, 0)),
+            4999ll * 5000 / 2);
+}
+
+TEST_F(OperatorTest, HashJoinInner) {
+  TablePtr r = Run(PlanNode::HashJoin(
+      PlanNode::Scan("t", {"k", "v"}), PlanNode::Scan("dim", {"dk", "name"}),
+      JoinKind::kInner, {"k"}, {"dk"}));
+  EXPECT_EQ(r->num_rows(), 50);  // even keys < 100
+  EXPECT_EQ(r->schema().Names(),
+            (std::vector<std::string>{"k", "v", "dk", "name"}));
+}
+
+TEST_F(OperatorTest, HashJoinSemiAnti) {
+  PlanPtr probe = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{100})));
+  TablePtr semi = Run(PlanNode::HashJoin(probe, PlanNode::Scan("dim", {"dk"}),
+                                         JoinKind::kSemi, {"k"}, {"dk"}));
+  EXPECT_EQ(semi->num_rows(), 50);
+  TablePtr anti = Run(PlanNode::HashJoin(probe, PlanNode::Scan("dim", {"dk"}),
+                                         JoinKind::kAnti, {"k"}, {"dk"}));
+  EXPECT_EQ(anti->num_rows(), 50);  // odd keys < 100
+}
+
+TEST_F(OperatorTest, HashJoinLeftOuterPadsMisses) {
+  PlanPtr probe = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{4})));
+  TablePtr r = Run(PlanNode::HashJoin(probe,
+                                      PlanNode::Scan("dim", {"dk", "name"}),
+                                      JoinKind::kLeftOuter, {"k"}, {"dk"}));
+  ASSERT_EQ(r->num_rows(), 4);
+  // Odd keys have no dim match: padded with defaults (0 / "").
+  auto rows = recycledb::testing::RowMultiset(*r);
+  EXPECT_TRUE(rows.count("1|0|''|") == 1) << r->ToString();
+}
+
+TEST_F(OperatorTest, HashJoinDuplicateBuildKeysMultiply) {
+  Schema s({{"bk", TypeId::kInt32}});
+  TablePtr dup = MakeTable(s);
+  dup->AppendRow({int32_t{2}});
+  dup->AppendRow({int32_t{2}});
+  ASSERT_TRUE(catalog_.RegisterTable("dup", dup).ok());
+  PlanPtr probe = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Eq(Expr::Column("k"), Expr::Literal(int64_t{2})));
+  TablePtr r = Run(PlanNode::HashJoin(probe, PlanNode::Scan("dup", {"bk"}),
+                                      JoinKind::kInner, {"k"}, {"bk"}));
+  EXPECT_EQ(r->num_rows(), 2);
+}
+
+TEST_F(OperatorTest, MultiKeyJoin) {
+  // Join t with itself on (k, g): every row matches exactly itself.
+  PlanPtr left = PlanNode::Scan("t", {"k", "g"});
+  PlanPtr right = PlanNode::Project(
+      PlanNode::Scan("t", {"k", "g"}),
+      {{Expr::Column("k"), "k2"}, {Expr::Column("g"), "g2"}});
+  TablePtr r = Run(PlanNode::HashJoin(left, right, JoinKind::kInner,
+                                      {"k", "g"}, {"k2", "g2"}));
+  EXPECT_EQ(r->num_rows(), 5000);
+}
+
+TEST_F(OperatorTest, OperatorStatsCollected) {
+  PlanPtr plan = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Lt(Expr::Column("k"), Expr::Literal(int64_t{10})));
+  plan->Bind(catalog_);
+  Executor exec(&catalog_);
+  ExecResult r = exec.Run(plan);
+  ASSERT_EQ(r.node_runtime.size(), 2u);
+  const NodeRuntime& sel_rt = r.node_runtime.at(plan.get());
+  EXPECT_EQ(sel_rt.rows_out, 10);
+  const NodeRuntime& scan_rt = r.node_runtime.at(plan->child().get());
+  EXPECT_EQ(scan_rt.rows_out, 5000);
+  // Inclusive timing: the parent's time includes the child's.
+  EXPECT_GE(sel_rt.inclusive_ms, 0.0);
+}
+
+TEST_F(OperatorTest, ScanProgressAdvances) {
+  TablePtr t = catalog_.GetTable("t");
+  ScanOp scan(Schema({{"k", TypeId::kInt32}}), t, {0});
+  scan.Open();
+  EXPECT_DOUBLE_EQ(scan.Progress(), 0.0);
+  Batch b;
+  ASSERT_TRUE(scan.Next(&b));
+  EXPECT_GT(scan.Progress(), 0.0);
+  EXPECT_LT(scan.Progress(), 1.0);
+  while (scan.Next(&b)) {
+  }
+  EXPECT_DOUBLE_EQ(scan.Progress(), 1.0);
+}
+
+}  // namespace
+}  // namespace recycledb

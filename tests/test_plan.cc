@@ -1,0 +1,185 @@
+// Unit tests for src/plan: binding, fingerprints, hash keys, signatures,
+// new-name detection, cloning.
+#include <gtest/gtest.h>
+
+#include "plan/plan.h"
+
+namespace recycledb {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({{"k", TypeId::kInt32},
+              {"v", TypeId::kDouble},
+              {"s", TypeId::kString},
+              {"d", TypeId::kDate}});
+    TablePtr t = MakeTable(s);
+    t->AppendRow({int32_t{1}, 1.0, std::string("a"), MakeDate(1995, 1, 1)});
+    t->AppendRow({int32_t{2}, 2.0, std::string("b"), MakeDate(1996, 1, 1)});
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+    Schema s2({{"k2", TypeId::kInt32}, {"w", TypeId::kInt64}});
+    TablePtr t2 = MakeTable(s2);
+    t2->AppendRow({int32_t{1}, int64_t{10}});
+    ASSERT_TRUE(catalog_.RegisterTable("t2", t2).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(PlanTest, ScanBindsListedColumns) {
+  PlanPtr p = PlanNode::Scan("t", {"v", "k"});
+  p->Bind(catalog_);
+  EXPECT_EQ(p->output_schema().Names(), (std::vector<std::string>{"v", "k"}));
+  EXPECT_EQ(p->output_schema().field(0).type, TypeId::kDouble);
+  EXPECT_EQ(p->base_tables(), (std::set<std::string>{"t"}));
+}
+
+TEST_F(PlanTest, SelectPreservesSchema) {
+  PlanPtr p = PlanNode::Select(
+      PlanNode::Scan("t", {"k", "v"}),
+      Expr::Gt(Expr::Column("k"), Expr::Literal(int64_t{0})));
+  p->Bind(catalog_);
+  EXPECT_EQ(p->output_schema().Names(), (std::vector<std::string>{"k", "v"}));
+}
+
+TEST_F(PlanTest, ProjectAssignsNewNames) {
+  PlanPtr p = PlanNode::Project(
+      PlanNode::Scan("t", {"k", "v"}),
+      {{Expr::Arith(ArithOp::kMul, Expr::Column("v"), Expr::Literal(2.0)),
+        "v2"}});
+  p->Bind(catalog_);
+  EXPECT_EQ(p->output_schema().Names(), (std::vector<std::string>{"v2"}));
+  EXPECT_EQ(p->NewNames(), (std::vector<std::string>{"v2"}));
+}
+
+TEST_F(PlanTest, AggregateSchemaGroupsThenAggs) {
+  PlanPtr p = PlanNode::Aggregate(
+      PlanNode::Scan("t", {"k", "v"}), {"k"},
+      {{AggFunc::kSum, Expr::Column("v"), "sv"},
+       {AggFunc::kCount, Expr::Literal(int64_t{1}), "c"}});
+  p->Bind(catalog_);
+  EXPECT_EQ(p->output_schema().Names(),
+            (std::vector<std::string>{"k", "sv", "c"}));
+  EXPECT_EQ(p->output_schema().field(1).type, TypeId::kDouble);  // sum(double)
+  EXPECT_EQ(p->output_schema().field(2).type, TypeId::kInt64);
+  EXPECT_EQ(p->NewNames(), (std::vector<std::string>{"sv", "c"}));
+}
+
+TEST_F(PlanTest, JoinSchemaConcatsAndSemiKeepsLeft) {
+  PlanPtr inner = PlanNode::HashJoin(PlanNode::Scan("t", {"k", "v"}),
+                                     PlanNode::Scan("t2", {"k2", "w"}),
+                                     JoinKind::kInner, {"k"}, {"k2"});
+  inner->Bind(catalog_);
+  EXPECT_EQ(inner->output_schema().Names(),
+            (std::vector<std::string>{"k", "v", "k2", "w"}));
+  PlanPtr semi = PlanNode::HashJoin(PlanNode::Scan("t", {"k", "v"}),
+                                    PlanNode::Scan("t2", {"k2", "w"}),
+                                    JoinKind::kSemi, {"k"}, {"k2"});
+  semi->Bind(catalog_);
+  EXPECT_EQ(semi->output_schema().Names(),
+            (std::vector<std::string>{"k", "v"}));
+  EXPECT_EQ(semi->base_tables(), (std::set<std::string>{"t", "t2"}));
+}
+
+TEST_F(PlanTest, ParamFingerprintExcludesOutputNames) {
+  // Two projects computing the same expression under different out names
+  // share a parameter fingerprint (the graph canonicalizes new names).
+  PlanPtr a = PlanNode::Project(PlanNode::Scan("t", {"v"}),
+                                {{Expr::Column("v"), "x"}});
+  PlanPtr b = PlanNode::Project(PlanNode::Scan("t", {"v"}),
+                                {{Expr::Column("v"), "y"}});
+  EXPECT_EQ(a->ParamFingerprint(nullptr), b->ParamFingerprint(nullptr));
+}
+
+TEST_F(PlanTest, ParamFingerprintMappingApplies) {
+  PlanPtr p = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Gt(Expr::Column("k"), Expr::Literal(int64_t{1})));
+  NameMap m{{"k", "k#9"}};
+  EXPECT_NE(p->ParamFingerprint(nullptr), p->ParamFingerprint(&m));
+}
+
+TEST_F(PlanTest, HashKeyDistinguishesLiteralsButNotColumnNames) {
+  PlanPtr a = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Gt(Expr::Column("k"), Expr::Literal(int64_t{1})));
+  PlanPtr b = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Gt(Expr::Column("renamed"), Expr::Literal(int64_t{1})));
+  PlanPtr c = PlanNode::Select(
+      PlanNode::Scan("t", {"k"}),
+      Expr::Gt(Expr::Column("k"), Expr::Literal(int64_t{2})));
+  EXPECT_EQ(a->HashKey(), b->HashKey());  // name-space independent
+  EXPECT_NE(a->HashKey(), c->HashKey());  // literal-sensitive
+}
+
+TEST_F(PlanTest, SignatureCoversParamColumns) {
+  PlanPtr p = PlanNode::HashJoin(PlanNode::Scan("t", {"k", "v"}),
+                                 PlanNode::Scan("t2", {"k2", "w"}),
+                                 JoinKind::kInner, {"k"}, {"k2"});
+  auto cols = p->ParamInputColumns();
+  EXPECT_EQ(cols, (std::set<std::string>{"k", "k2"}));
+  EXPECT_NE(p->Signature() & ColumnSignatureBit("k"), 0u);
+}
+
+TEST_F(PlanTest, TreeFingerprintDistinguishesSubtrees) {
+  auto mk = [&](int64_t lit) {
+    return PlanNode::Select(
+        PlanNode::Scan("t", {"k"}),
+        Expr::Gt(Expr::Column("k"), Expr::Literal(lit)));
+  };
+  EXPECT_EQ(mk(1)->TreeFingerprint(), mk(1)->TreeFingerprint());
+  EXPECT_NE(mk(1)->TreeFingerprint(), mk(2)->TreeFingerprint());
+}
+
+TEST_F(PlanTest, CloneAndWithChildren) {
+  PlanPtr scan = PlanNode::Scan("t", {"k"});
+  PlanPtr sel = PlanNode::Select(
+      scan, Expr::Gt(Expr::Column("k"), Expr::Literal(int64_t{0})));
+  sel->Bind(catalog_);
+  PlanPtr clone = sel->CloneShallow();
+  EXPECT_FALSE(clone->bound());
+  EXPECT_EQ(clone->child(0), scan);  // children shared
+  PlanPtr other = PlanNode::Scan("t", {"k"});
+  PlanPtr swapped = sel->WithChildren({other});
+  EXPECT_EQ(swapped->child(0), other);
+  EXPECT_EQ(sel->child(0), scan);  // original untouched
+}
+
+TEST_F(PlanTest, CloneParamsRenamed) {
+  PlanPtr agg = PlanNode::Aggregate(
+      PlanNode::Scan("t", {"k", "v"}), {"k"},
+      {{AggFunc::kSum, Expr::Column("v"), "sv"}});
+  PlanPtr renamed = agg->CloneParamsRenamed({{"k", "k#1"}, {"v", "v#1"}});
+  EXPECT_EQ(renamed->num_children(), 0);
+  EXPECT_EQ(renamed->group_by()[0], "k#1");
+  std::set<std::string> cols;
+  renamed->aggregates()[0].arg->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"v#1"}));
+}
+
+TEST_F(PlanTest, UnionRequiresCompatibleChildren) {
+  PlanPtr u = PlanNode::UnionAll(
+      {PlanNode::Scan("t", {"k"}), PlanNode::Scan("t", {"k"})});
+  u->Bind(catalog_);
+  EXPECT_EQ(u->output_schema().num_fields(), 1);
+}
+
+TEST_F(PlanTest, CachedScanBindsRenamedSchema) {
+  TablePtr cached = MakeTable(Schema({{"x#3", TypeId::kInt32}}));
+  cached->AppendRow({int32_t{5}});
+  PlanPtr p = PlanNode::CachedScan(cached, {"k"});
+  p->Bind(catalog_);
+  EXPECT_EQ(p->output_schema().Names(), (std::vector<std::string>{"k"}));
+  EXPECT_TRUE(p->base_tables().empty());
+}
+
+TEST_F(PlanTest, BindIsIdempotent) {
+  PlanPtr p = PlanNode::Scan("t", {"k"});
+  p->Bind(catalog_);
+  p->Bind(catalog_);
+  EXPECT_TRUE(p->bound());
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,150 @@
+// Unit tests for src/storage: ColumnVector, Schema, Table, Catalog.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace recycledb {
+namespace {
+
+TEST(ColumnTest, AppendAndGet) {
+  ColumnVector col(TypeId::kInt64);
+  col.Append(Datum(int64_t{7}));
+  col.Append(Datum(int64_t{9}));
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_EQ(std::get<int64_t>(col.GetDatum(0)), 7);
+  EXPECT_EQ(std::get<int64_t>(col.GetDatum(1)), 9);
+}
+
+TEST(ColumnTest, DateSharesInt32Storage) {
+  ColumnVector col(TypeId::kDate);
+  col.Append(Datum(MakeDate(1998, 12, 1)));
+  EXPECT_EQ(col.Data<int32_t>()[0], MakeDate(1998, 12, 1));
+}
+
+TEST(ColumnTest, AppendSelectedGathers) {
+  ColumnVector src(TypeId::kInt32);
+  for (int i = 0; i < 10; ++i) src.Append(Datum(int32_t{i}));
+  ColumnVector dst(TypeId::kInt32);
+  dst.AppendSelected(src, {1, 3, 5});
+  ASSERT_EQ(dst.size(), 3);
+  EXPECT_EQ(dst.Data<int32_t>()[0], 1);
+  EXPECT_EQ(dst.Data<int32_t>()[1], 3);
+  EXPECT_EQ(dst.Data<int32_t>()[2], 5);
+}
+
+TEST(ColumnTest, AppendRangeStrings) {
+  ColumnVector src(TypeId::kString);
+  src.Append(Datum(std::string("a")));
+  src.Append(Datum(std::string("b")));
+  src.Append(Datum(std::string("c")));
+  ColumnVector dst(TypeId::kString);
+  dst.AppendRange(src, 1, 2);
+  ASSERT_EQ(dst.size(), 2);
+  EXPECT_EQ(dst.Data<std::string>()[0], "b");
+  EXPECT_EQ(dst.Data<std::string>()[1], "c");
+}
+
+TEST(ColumnTest, HashRowEqualValuesEqualHash) {
+  ColumnVector a(TypeId::kInt64), b(TypeId::kInt64);
+  a.Append(Datum(int64_t{42}));
+  b.Append(Datum(int64_t{42}));
+  EXPECT_EQ(a.HashRow(0, 17), b.HashRow(0, 17));
+  EXPECT_TRUE(a.RowEquals(0, b, 0));
+}
+
+TEST(ColumnTest, ByteSizeGrowsWithData) {
+  ColumnVector col(TypeId::kInt64);
+  int64_t empty = col.ByteSize();
+  for (int i = 0; i < 1000; ++i) col.Append(Datum(int64_t{i}));
+  EXPECT_GE(col.ByteSize(), empty + 8000);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({{"a", TypeId::kInt32}, {"b", TypeId::kString}});
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("c"), -1);
+  EXPECT_TRUE(s.Has("b"));
+  EXPECT_EQ(s.Names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TableTest, AppendRowsAndBatch) {
+  Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+  TablePtr t = MakeTable(s);
+  t->AppendRow({int32_t{1}, 2.5});
+  t->AppendRow({int32_t{2}, 3.5});
+  EXPECT_EQ(t->num_rows(), 2);
+  EXPECT_EQ(std::get<double>(t->Get(1, 1)), 3.5);
+
+  Batch b;
+  b.columns = {MakeColumn(TypeId::kInt32), MakeColumn(TypeId::kDouble)};
+  b.columns[0]->Append(Datum(int32_t{3}));
+  b.columns[1]->Append(Datum(4.5));
+  b.num_rows = 1;
+  t->AppendBatch(b);
+  EXPECT_EQ(t->num_rows(), 3);
+  EXPECT_EQ(std::get<int32_t>(t->Get(2, 0)), 3);
+}
+
+TEST(TableTest, RenameColumnsSharesData) {
+  Schema s({{"a", TypeId::kInt32}});
+  TablePtr t = MakeTable(s);
+  t->AppendRow({int32_t{5}});
+  TablePtr renamed = t->RenameColumns({"x"});
+  EXPECT_EQ(renamed->schema().field(0).name, "x");
+  EXPECT_EQ(renamed->num_rows(), 1);
+  EXPECT_EQ(renamed->column(0).get(), t->column(0).get());  // zero copy
+}
+
+TEST(TableTest, SelectColumnsReorders) {
+  Schema s({{"a", TypeId::kInt32}, {"b", TypeId::kString}});
+  TablePtr t = MakeTable(s);
+  t->AppendRow({int32_t{1}, std::string("x")});
+  TablePtr sel = t->SelectColumns({"b", "a"});
+  EXPECT_EQ(sel->schema().field(0).name, "b");
+  EXPECT_EQ(std::get<int32_t>(sel->Get(0, 1)), 1);
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog cat;
+  Schema s({{"a", TypeId::kInt32}});
+  TablePtr t = MakeTable(s);
+  t->AppendRow({int32_t{1}});
+  EXPECT_TRUE(cat.RegisterTable("t", t).ok());
+  EXPECT_FALSE(cat.RegisterTable("t", t).ok());  // duplicate
+  EXPECT_NE(cat.GetTable("t"), nullptr);
+  EXPECT_EQ(cat.GetTable("missing"), nullptr);
+  EXPECT_TRUE(cat.HasTable("t"));
+}
+
+TEST(CatalogTest, ColumnStatsDistinctAndMinMax) {
+  Catalog cat;
+  Schema s({{"k", TypeId::kInt32}});
+  TablePtr t = MakeTable(s);
+  for (int i = 0; i < 100; ++i) t->AppendRow({int32_t{i % 10}});
+  ASSERT_TRUE(cat.RegisterTable("t", t).ok());
+  const ColumnStats* stats = cat.GetColumnStats("t", "k");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->distinct_count, 10);
+  EXPECT_EQ(std::get<int32_t>(stats->min_value), 0);
+  EXPECT_EQ(std::get<int32_t>(stats->max_value), 9);
+}
+
+TEST(CatalogTest, ReplaceTableRecomputesStats) {
+  Catalog cat;
+  Schema s({{"k", TypeId::kInt32}});
+  TablePtr t1 = MakeTable(s);
+  t1->AppendRow({int32_t{1}});
+  ASSERT_TRUE(cat.RegisterTable("t", t1).ok());
+  TablePtr t2 = MakeTable(s);
+  t2->AppendRow({int32_t{1}});
+  t2->AppendRow({int32_t{2}});
+  ASSERT_TRUE(cat.ReplaceTable("t", t2).ok());
+  EXPECT_EQ(cat.GetColumnStats("t", "k")->distinct_count, 2);
+  EXPECT_FALSE(cat.ReplaceTable("nope", t2).ok());
+}
+
+}  // namespace
+}  // namespace recycledb

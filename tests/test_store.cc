@@ -1,0 +1,147 @@
+// Unit tests for the store operator: materialize mode, speculative
+// buffering with accept/abandon, buffer caps, pass-through transparency.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "exec/store.h"
+
+namespace recycledb {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({{"k", TypeId::kInt32}});
+    TablePtr t = MakeTable(s);
+    for (int i = 0; i < 10000; ++i) t->AppendRow({int32_t{i}});
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+  }
+
+  OperatorPtr MakeScan() {
+    TablePtr t = catalog_.GetTable("t");
+    return std::make_unique<ScanOp>(Schema({{"k", TypeId::kInt32}}), t,
+                                    std::vector<int>{0});
+  }
+
+  static int64_t Drain(Operator* op) {
+    op->Open();
+    Batch b;
+    int64_t rows = 0;
+    while (op->NextTimed(&b)) rows += b.num_rows;
+    op->Close();
+    return rows;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(StoreTest, MaterializeModePassesThroughAndCaptures) {
+  TablePtr captured;
+  double cost = -1;
+  StoreRequest req;
+  req.mode = StoreMode::kMaterialize;
+  req.on_complete = [&](void*, TablePtr result, double ms) {
+    captured = result;
+    cost = ms;
+  };
+  StoreOp store(MakeScan(), req);
+  EXPECT_EQ(Drain(&store), 10000);  // flow uninterrupted
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->num_rows(), 10000);
+  EXPECT_GE(cost, 0.0);
+  EXPECT_TRUE(store.materializing());
+}
+
+TEST_F(StoreTest, SpeculativeAcceptMaterializes) {
+  TablePtr captured;
+  int decisions = 0;
+  StoreRequest req;
+  req.mode = StoreMode::kSpeculative;
+  req.keep_going = [&](void*, const SpeculationEstimate& est) {
+    ++decisions;
+    EXPECT_GE(est.progress, 0.0);
+    EXPECT_LE(est.progress, 1.0);
+    return true;  // always beneficial
+  };
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  StoreOp store(MakeScan(), req);
+  EXPECT_EQ(Drain(&store), 10000);
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->num_rows(), 10000);
+  EXPECT_GT(decisions, 1);  // estimates sharpened over multiple batches
+}
+
+TEST_F(StoreTest, SpeculativeAbandonStillStreamsAllTuples) {
+  TablePtr captured = MakeTable(Schema(std::vector<Field>{}));  // sentinel
+  StoreRequest req;
+  req.mode = StoreMode::kSpeculative;
+  req.keep_going = [](void*, const SpeculationEstimate&) { return false; };
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  StoreOp store(MakeScan(), req);
+  EXPECT_EQ(Drain(&store), 10000);  // the query still sees every tuple
+  EXPECT_EQ(captured, nullptr);     // nothing materialized
+  EXPECT_FALSE(store.materializing());
+}
+
+TEST_F(StoreTest, SpeculativeLateAbandonReleasesBuffer) {
+  // Reject only once the estimates have sharpened past 30% progress:
+  // the withheld prefix must still reach the parent.
+  TablePtr captured = MakeTable(Schema(std::vector<Field>{}));
+  StoreRequest req;
+  req.mode = StoreMode::kSpeculative;
+  req.keep_going = [](void*, const SpeculationEstimate& est) {
+    return est.progress < 0.3;
+  };
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  StoreOp store(MakeScan(), req);
+  EXPECT_EQ(Drain(&store), 10000);
+  EXPECT_EQ(captured, nullptr);
+}
+
+TEST_F(StoreTest, BufferCapForcesAbandon) {
+  TablePtr captured = MakeTable(Schema(std::vector<Field>{}));
+  StoreRequest req;
+  req.mode = StoreMode::kSpeculative;
+  req.buffer_cap_bytes = 1024;  // 10k int32 rows exceed this immediately
+  req.keep_going = [](void*, const SpeculationEstimate&) { return true; };
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  StoreOp store(MakeScan(), req);
+  EXPECT_EQ(Drain(&store), 10000);
+  EXPECT_EQ(captured, nullptr);
+}
+
+TEST_F(StoreTest, ExecutorInjectsStoreViaRequestMap) {
+  PlanPtr plan = PlanNode::Scan("t", {"k"});
+  plan->Bind(catalog_);
+  TablePtr captured;
+  std::map<const PlanNode*, StoreRequest> stores;
+  StoreRequest req;
+  req.mode = StoreMode::kMaterialize;
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  stores[plan.get()] = req;
+  Executor exec(&catalog_);
+  ExecResult r = exec.Run(plan, &stores);
+  EXPECT_EQ(r.table->num_rows(), 10000);
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->num_rows(), 10000);
+}
+
+TEST_F(StoreTest, EmptyInputMaterializesEmptyResult) {
+  Schema s({{"x", TypeId::kInt32}});
+  TablePtr empty = MakeTable(s);
+  ASSERT_TRUE(catalog_.RegisterTable("empty", empty).ok());
+  auto scan = std::make_unique<ScanOp>(s, empty, std::vector<int>{0});
+  TablePtr captured;
+  StoreRequest req;
+  req.mode = StoreMode::kSpeculative;
+  req.keep_going = [](void*, const SpeculationEstimate&) { return true; };
+  req.on_complete = [&](void*, TablePtr result, double) { captured = result; };
+  StoreOp store(std::move(scan), req);
+  EXPECT_EQ(Drain(&store), 0);
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace recycledb

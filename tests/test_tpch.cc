@@ -1,0 +1,174 @@
+// End-to-end TPC-H tests: dbgen sanity, all 22 plans execute, and the key
+// system invariant — every recycler mode returns the same results as OFF.
+#include <gtest/gtest.h>
+
+#include "recycler/recycler.h"
+#include "tpch/dbgen.h"
+#include "tpch/qgen.h"
+#include "tpch/queries.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+constexpr double kTestSf = 0.005;
+
+// One shared tiny database for the whole file (generation is the slow part).
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::Generate(kTestSf, catalog_);
+  }
+  static Catalog* catalog_;
+};
+Catalog* TpchTest::catalog_ = nullptr;
+
+TEST_F(TpchTest, DbgenCardinalities) {
+  EXPECT_EQ(catalog_->GetTable("region")->num_rows(), 5);
+  EXPECT_EQ(catalog_->GetTable("nation")->num_rows(), 25);
+  int64_t suppliers = catalog_->GetTable("supplier")->num_rows();
+  int64_t parts = catalog_->GetTable("part")->num_rows();
+  EXPECT_EQ(catalog_->GetTable("partsupp")->num_rows(), parts * 4);
+  int64_t orders = catalog_->GetTable("orders")->num_rows();
+  int64_t lineitem = catalog_->GetTable("lineitem")->num_rows();
+  EXPECT_GT(suppliers, 0);
+  EXPECT_GT(orders, 0);
+  // ~4 lineitems per order on average (uniform 1..7).
+  EXPECT_GT(lineitem, orders * 2);
+  EXPECT_LT(lineitem, orders * 7);
+}
+
+TEST_F(TpchTest, DbgenDateRules) {
+  TablePtr l = catalog_->GetTable("lineitem");
+  const auto& od = catalog_->GetTable("orders")->ColumnByName("o_orderdate")
+                       ->Data<int32_t>();
+  for (int32_t d : od) {
+    EXPECT_GE(d, MakeDate(1992, 1, 1));
+    EXPECT_LE(d, MakeDate(1998, 8, 2));
+  }
+  const auto& ship = l->ColumnByName("l_shipdate")->Data<int32_t>();
+  const auto& receipt = l->ColumnByName("l_receiptdate")->Data<int32_t>();
+  for (size_t i = 0; i < ship.size(); ++i) {
+    EXPECT_GT(receipt[i], ship[i]);
+    EXPECT_LE(receipt[i] - ship[i], 30);
+  }
+}
+
+TEST_F(TpchTest, DbgenValueDomains) {
+  TablePtr l = catalog_->GetTable("lineitem");
+  const auto& qty = l->ColumnByName("l_quantity")->Data<double>();
+  const auto& disc = l->ColumnByName("l_discount")->Data<double>();
+  for (size_t i = 0; i < qty.size(); ++i) {
+    EXPECT_GE(qty[i], 1);
+    EXPECT_LE(qty[i], 50);
+    EXPECT_GE(disc[i], 0.0);
+    EXPECT_LE(disc[i], 0.10 + 1e-9);
+  }
+  const auto& flag = l->ColumnByName("l_returnflag")->Data<std::string>();
+  for (const auto& f : flag) {
+    EXPECT_TRUE(f == "R" || f == "A" || f == "N");
+  }
+}
+
+TEST_F(TpchTest, DbgenDeterministic) {
+  Catalog other;
+  tpch::Generate(kTestSf, &other);
+  TablePtr a = catalog_->GetTable("orders");
+  TablePtr b = other.GetTable("orders");
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (int64_t r = 0; r < std::min<int64_t>(a->num_rows(), 200); ++r) {
+    EXPECT_EQ(recycledb::testing::RowKey(*a, r),
+              recycledb::testing::RowKey(*b, r));
+  }
+}
+
+// Every query pattern binds and executes with recycling off.
+TEST_F(TpchTest, AllQueriesExecuteOff) {
+  Rng rng(7);
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kOff;
+  Recycler off(catalog_, cfg);
+  for (int q = 1; q <= tpch::kNumQueries; ++q) {
+    SCOPED_TRACE("Q" + std::to_string(q));
+    tpch::QueryParams p = tpch::GenerateParams(q, &rng, kTestSf);
+    PlanPtr plan = tpch::BuildQuery(q, p, kTestSf);
+    ExecResult r = off.Execute(plan);
+    ASSERT_NE(r.table, nullptr);
+  }
+}
+
+// Whether top-N cut ties make full-row comparison unsafe for a pattern.
+bool IsTopNQuery(int q) {
+  return q == 2 || q == 3 || q == 10 || q == 18 || q == 21;
+}
+
+class TpchModeEquivalence
+    : public TpchTest,
+      public ::testing::WithParamInterface<RecyclerMode> {};
+
+// The central correctness property: recycling must be transparent.
+// Run the same parameterized workload twice per mode (so reuse actually
+// triggers) and compare every result against the OFF run.
+TEST_P(TpchModeEquivalence, SameResultsAsOff) {
+  RecyclerMode mode = GetParam();
+  RecyclerConfig off_cfg;
+  off_cfg.mode = RecyclerMode::kOff;
+  Recycler off(catalog_, off_cfg);
+
+  RecyclerConfig on_cfg;
+  on_cfg.mode = mode;
+  on_cfg.cache_bytes = 64ll << 20;
+  Recycler on(catalog_, on_cfg);
+
+  for (int round = 0; round < 2; ++round) {
+    Rng rng(42);  // identical parameters both rounds => reuse on round 2
+    for (int q = 1; q <= tpch::kNumQueries; ++q) {
+      SCOPED_TRACE("round " + std::to_string(round) + " Q" + std::to_string(q));
+      tpch::QueryParams p = tpch::GenerateParams(q, &rng, kTestSf);
+      PlanPtr plan_off = tpch::BuildQuery(q, p, kTestSf);
+      PlanPtr plan_on = tpch::BuildQuery(q, p, kTestSf);
+      ExecResult r_off = off.Execute(plan_off);
+      ExecResult r_on = on.Execute(plan_on);
+      ASSERT_EQ(r_off.table->num_rows(), r_on.table->num_rows());
+      if (IsTopNQuery(q)) {
+        // Compare the ordering keys only (cut-boundary ties are free).
+        std::vector<std::string> keys;
+        for (const auto& k : plan_off->sort_keys()) keys.push_back(k.column);
+        EXPECT_EQ(recycledb::testing::ColumnMultiset(*r_off.table, keys),
+                  recycledb::testing::ColumnMultiset(*r_on.table, keys));
+      } else {
+        EXPECT_EQ(recycledb::testing::RowMultiset(*r_off.table),
+                  recycledb::testing::RowMultiset(*r_on.table));
+      }
+    }
+  }
+  EXPECT_GT(on.counters().reuses.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TpchModeEquivalence,
+                         ::testing::Values(RecyclerMode::kHistory,
+                                           RecyclerMode::kSpeculation,
+                                           RecyclerMode::kProactive),
+                         [](const auto& info) {
+                           return RecyclerModeName(info.param);
+                         });
+
+// Repeating the same query must get faster (reuse) and count a reuse.
+TEST_F(TpchTest, RepeatReusesFinalResult) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(catalog_, cfg);
+  Rng rng(3);
+  tpch::QueryParams p = tpch::GenerateParams(1, &rng, kTestSf);
+  PlanPtr plan1 = tpch::BuildQuery(1, p, kTestSf);
+  PlanPtr plan2 = tpch::BuildQuery(1, p, kTestSf);
+  QueryTrace t1, t2;
+  rec.Execute(plan1, &t1);
+  rec.Execute(plan2, &t2);
+  EXPECT_GE(t1.num_materialized, 1);  // speculation stores the final result
+  EXPECT_GE(t2.num_reuses, 1);
+}
+
+}  // namespace
+}  // namespace recycledb

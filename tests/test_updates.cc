@@ -1,0 +1,130 @@
+// Tests for update handling: evicting dependents on commit (§II's
+// proposed approach, which this system implements) and correctness of
+// results after base-table replacement.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "recycler/recycler.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterVersion(1);
+  }
+
+  /// (Re-)registers table "t" whose contents depend on `version`, so a
+  /// stale cached result is detectably wrong.
+  void RegisterVersion(int version) {
+    Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+    TablePtr t = MakeTable(s);
+    for (int i = 0; i < 4000; ++i) {
+      t->AppendRow({int32_t{i % 20},
+                    static_cast<double>(i % 100) * version});
+    }
+    if (catalog_.HasTable("t")) {
+      ASSERT_TRUE(catalog_.ReplaceTable("t", t).ok());
+    } else {
+      ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+    }
+  }
+
+  PlanPtr SumPlan() {
+    return PlanNode::Aggregate(
+        PlanNode::Scan("t", {"k", "v"}), {"k"},
+        {{AggFunc::kSum, Expr::Column("v"), "sv"}});
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(UpdateTest, StaleResultsEvictedOnCommit) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(&catalog_, cfg);
+  ExecResult before = rec.Execute(SumPlan());
+
+  // Simulated transaction commit: replace the table, evict dependents.
+  RegisterVersion(2);
+  rec.InvalidateTable("t");
+
+  QueryTrace trace;
+  ExecResult after = rec.Execute(SumPlan(), &trace);
+  EXPECT_EQ(trace.num_reuses, 0);  // the stale result is gone
+  // Values doubled: the result must reflect the new table.
+  double sum_before = 0, sum_after = 0;
+  for (int64_t r = 0; r < before.table->num_rows(); ++r) {
+    sum_before += std::get<double>(before.table->Get(r, 1));
+    sum_after += std::get<double>(after.table->Get(r, 1));
+  }
+  EXPECT_DOUBLE_EQ(sum_after, 2 * sum_before);
+}
+
+TEST_F(UpdateTest, WithoutInvalidationStaleResultWouldBeServed) {
+  // Documents the contract: invalidation is the caller's commit hook.
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(&catalog_, cfg);
+  rec.Execute(SumPlan());
+  RegisterVersion(2);
+  QueryTrace trace;
+  rec.Execute(SumPlan(), &trace);
+  EXPECT_GE(trace.num_reuses, 1);  // stale but served: eviction is explicit
+}
+
+TEST_F(UpdateTest, InvalidationOnlyHitsDependents) {
+  Schema s({{"x", TypeId::kInt32}});
+  TablePtr other = MakeTable(s);
+  for (int i = 0; i < 1000; ++i) other->AppendRow({int32_t{i}});
+  ASSERT_TRUE(catalog_.RegisterTable("other", other).ok());
+
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(&catalog_, cfg);
+  rec.Execute(SumPlan());
+  rec.Execute(PlanNode::Aggregate(
+      PlanNode::Scan("other", {"x"}), {},
+      {{AggFunc::kMax, Expr::Column("x"), "mx"}}));
+  int64_t cached = rec.graph().Stats().num_cached;
+  ASSERT_GE(cached, 2);
+  rec.InvalidateTable("t");
+  // Results over "other" survive.
+  QueryTrace trace;
+  rec.Execute(PlanNode::Aggregate(
+                  PlanNode::Scan("other", {"x"}), {},
+                  {{AggFunc::kMax, Expr::Column("x"), "mx"}}),
+              &trace);
+  EXPECT_GE(trace.num_reuses, 1);
+}
+
+TEST_F(UpdateTest, ConcurrentQueriesAndInvalidationsStaySane) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  Recycler rec(&catalog_, cfg);
+  ExecResult reference = rec.Execute(SumPlan());
+  auto expected = recycledb::testing::RowMultiset(*reference.table);
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      rec.InvalidateTable("t");
+      std::this_thread::yield();
+    }
+  });
+  bool all_ok = true;
+  for (int i = 0; i < 50; ++i) {
+    ExecResult r = rec.Execute(SumPlan());
+    all_ok = all_ok &&
+             recycledb::testing::RowMultiset(*r.table) == expected;
+  }
+  stop.store(true);
+  invalidator.join();
+  EXPECT_TRUE(all_ok);
+}
+
+}  // namespace
+}  // namespace recycledb

@@ -1,0 +1,52 @@
+// Shared helpers for the recycledb test suite.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace recycledb {
+namespace testing {
+
+/// Renders a row as a canonical string (doubles at 6 significant digits so
+/// summation-order differences do not break equality).
+inline std::string RowKey(const Table& t, int64_t row) {
+  std::string key;
+  for (int c = 0; c < t.num_columns(); ++c) {
+    key += DatumToString(t.Get(row, c));
+    key += "|";
+  }
+  return key;
+}
+
+/// Multiset of canonical row strings (order-insensitive table equality).
+inline std::multiset<std::string> RowMultiset(const Table& t) {
+  std::multiset<std::string> rows;
+  for (int64_t r = 0; r < t.num_rows(); ++r) rows.insert(RowKey(t, r));
+  return rows;
+}
+
+/// Multiset restricted to the given column names (used for top-N queries
+/// where ties at the cut boundary are resolved arbitrarily).
+inline std::multiset<std::string> ColumnMultiset(
+    const Table& t, const std::vector<std::string>& cols) {
+  std::vector<int> idx;
+  for (const auto& c : cols) idx.push_back(t.schema().IndexOfChecked(c));
+  std::multiset<std::string> rows;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (int c : idx) {
+      key += DatumToString(t.Get(r, c));
+      key += "|";
+    }
+    rows.insert(key);
+  }
+  return rows;
+}
+
+}  // namespace testing
+}  // namespace recycledb
