@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "exec/executor.h"
+#include "exec/operators.h"
 #include "recycler/recycler.h"
 
 namespace recycledb {
@@ -99,6 +100,64 @@ void BM_MatchAgainstGraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatchAgainstGraph)->Arg(10)->Arg(100)->Arg(1000);
+
+// ---------------------------------------------------------------------------
+// Zero-copy reuse path: scanning a cached 1M-row result (int64 + string
+// columns), copy-per-batch (the seed behaviour) vs. view-per-batch (what
+// ScanOp does now). Tracks the recycler's O(1)-per-batch reuse win.
+// ---------------------------------------------------------------------------
+
+TablePtr CachedResultTable() {
+  static TablePtr table = [] {
+    TablePtr t = MakeTable(
+        Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kString}}));
+    Rng rng(7);
+    for (int64_t i = 0; i < 1 << 20; ++i) {
+      t->AppendRow({i, "object-" + std::to_string(rng.Uniform(0, 1 << 16))});
+    }
+    return t;
+  }();
+  return table;
+}
+
+void BM_CopyScanCachedResult(benchmark::State& state) {
+  TablePtr t = CachedResultTable();
+  int64_t sum = 0;
+  for (auto _ : state) {
+    Batch out;
+    for (int64_t pos = 0; pos < t->num_rows(); pos += kDefaultBatchRows) {
+      int64_t count = std::min(kDefaultBatchRows, t->num_rows() - pos);
+      out.Clear();
+      for (int c = 0; c < t->num_columns(); ++c) {
+        ColumnPtr col = MakeColumn(t->schema().field(c).type);
+        col->AppendRange(*t->column(c), pos, count);
+        out.columns.push_back(std::move(col));
+      }
+      out.num_rows = count;
+      sum += out.columns[0]->Raw<int64_t>()[0];
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * t->num_rows());
+}
+BENCHMARK(BM_CopyScanCachedResult)->Unit(benchmark::kMillisecond);
+
+void BM_ViewScanCachedResult(benchmark::State& state) {
+  TablePtr t = CachedResultTable();
+  int64_t sum = 0;
+  for (auto _ : state) {
+    ScanOp scan(t->schema(), t, {0, 1});
+    scan.Open();
+    Batch out;
+    while (scan.Next(&out)) {
+      sum += out.columns[0]->Raw<int64_t>()[0];
+    }
+    scan.Close();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * t->num_rows());
+}
+BENCHMARK(BM_ViewScanCachedResult)->Unit(benchmark::kMillisecond);
 
 void BM_PlanFingerprint(benchmark::State& state) {
   PlanPtr plan = PlanNode::Aggregate(

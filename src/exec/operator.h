@@ -70,8 +70,29 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Allocates an output batch shaped like `schema`.
+/// Prepares an output batch shaped like `schema` for an owning producer.
+/// Reuses the batch's existing columns (clear, don't reconstruct) when they
+/// match the schema and nothing else holds a reference — this cuts the
+/// allocation churn of re-creating every column on every Next() call.
+/// Columns that were sliced (shared sources) or are still referenced
+/// downstream are replaced instead of cleared.
 inline void InitBatch(const Schema& schema, Batch* out) {
+  if (static_cast<int>(out->columns.size()) == schema.num_fields()) {
+    bool reusable = true;
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      const ColumnPtr& c = out->columns[i];
+      if (c == nullptr || c.use_count() != 1 || c->shared() ||
+          c->type() != schema.field(i).type) {
+        reusable = false;
+        break;
+      }
+    }
+    if (reusable) {
+      for (const auto& c : out->columns) c->Clear();
+      out->num_rows = 0;
+      return;
+    }
+  }
   out->Clear();
   out->columns.reserve(schema.num_fields());
   for (const auto& f : schema.fields()) out->columns.push_back(MakeColumn(f.type));

@@ -24,6 +24,23 @@ Datum PadValue(TypeId type) {
   RDB_UNREACHABLE("bad type");
 }
 
+namespace {
+
+// Emits O(1) views of rows [pos, pos+count) of the indexed table columns;
+// the views keep the columns alive even if the table is dropped (or
+// evicted from the recycler cache) mid-scan.
+void EmitTableViews(const Table& table, const std::vector<int>& indices,
+                    int64_t pos, int64_t count, Batch* out) {
+  out->Clear();
+  out->columns.reserve(indices.size());
+  for (int idx : indices) {
+    out->columns.push_back(ColumnVector::Slice(table.column(idx), pos, count));
+  }
+  out->num_rows = count;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ScanOp
 // ---------------------------------------------------------------------------
@@ -41,12 +58,7 @@ void ScanOp::Open() { pos_ = 0; }
 bool ScanOp::Next(Batch* out) {
   if (pos_ >= table_->num_rows()) return false;
   int64_t count = std::min(kDefaultBatchRows, table_->num_rows() - pos_);
-  InitBatch(output_schema_, out);
-  for (size_t i = 0; i < column_indices_.size(); ++i) {
-    out->columns[i]->AppendRange(*table_->column(column_indices_[i]), pos_,
-                                 count);
-  }
-  out->num_rows = count;
+  EmitTableViews(*table_, column_indices_, pos_, count, out);
   pos_ += count;
   return true;
 }
@@ -72,17 +84,15 @@ FunctionScanOp::FunctionScanOp(Schema output_schema, const TableFunction* fn,
 void FunctionScanOp::Open() {
   result_ = fn_->eval_fn(*catalog_, args_);
   RDB_CHECK(result_ != nullptr);
+  column_indices_.clear();
+  for (int i = 0; i < result_->num_columns(); ++i) column_indices_.push_back(i);
   pos_ = 0;
 }
 
 bool FunctionScanOp::Next(Batch* out) {
   if (pos_ >= result_->num_rows()) return false;
   int64_t count = std::min(kDefaultBatchRows, result_->num_rows() - pos_);
-  InitBatch(output_schema_, out);
-  for (int i = 0; i < result_->num_columns(); ++i) {
-    out->columns[i]->AppendRange(*result_->column(i), pos_, count);
-  }
-  out->num_rows = count;
+  EmitTableViews(*result_, column_indices_, pos_, count, out);
   pos_ += count;
   return true;
 }
@@ -107,6 +117,11 @@ bool FilterOp::Next(Batch* out) {
     std::vector<int32_t> sel =
         predicate_->EvalSelection(in, child_->output_schema());
     if (sel.empty()) continue;
+    if (static_cast<int64_t>(sel.size()) == in.num_rows) {
+      // Every row passed: forward the input batch untouched (zero copy).
+      *out = std::move(in);
+      return true;
+    }
     InitBatch(output_schema_, out);
     for (size_t c = 0; c < in.columns.size(); ++c) {
       out->columns[c]->AppendSelected(*in.columns[c], sel);
@@ -133,6 +148,8 @@ bool ProjectOp::Next(Batch* out) {
   out->Clear();
   out->columns.reserve(items_.size());
   for (const auto& item : items_) {
+    // Bare kColumnRef items forward the input column untouched (Eval
+    // returns the batch's ColumnPtr, view or owned, without copying).
     out->columns.push_back(item.expr->Eval(in, child_->output_schema()));
   }
   out->num_rows = in.num_rows;
@@ -155,11 +172,13 @@ bool LimitOp::Next(Batch* out) {
   if (!child_->NextTimed(&in)) return false;
   int64_t take = std::min(remaining_, in.num_rows);
   if (take == in.num_rows) {
-    *out = in;
+    *out = std::move(in);
   } else {
-    InitBatch(output_schema_, out);
-    for (size_t c = 0; c < in.columns.size(); ++c) {
-      out->columns[c]->AppendRange(*in.columns[c], 0, take);
+    // Truncate by slicing the input columns (zero copy).
+    out->Clear();
+    out->columns.reserve(in.columns.size());
+    for (const auto& c : in.columns) {
+      out->columns.push_back(ColumnVector::Slice(c, 0, take));
     }
     out->num_rows = take;
   }
@@ -472,11 +491,11 @@ void HashAggOp::Consume() {
           case AggFunc::kSum:
           case AggFunc::kAvg:
             if (agg_arg_types_[a] == TypeId::kDouble) {
-              st.dsum += arg.Data<double>()[r];
+              st.dsum += arg.Raw<double>()[r];
             } else {
               int64_t v = agg_arg_types_[a] == TypeId::kInt64
-                              ? arg.Data<int64_t>()[r]
-                              : arg.Data<int32_t>()[r];
+                              ? arg.Raw<int64_t>()[r]
+                              : arg.Raw<int32_t>()[r];
               st.isum += v;
               st.dsum += static_cast<double>(v);
             }

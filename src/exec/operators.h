@@ -45,6 +45,7 @@ class FunctionScanOp : public Operator {
   std::vector<Datum> args_;
   const Catalog* catalog_;
   TablePtr result_;
+  std::vector<int> column_indices_;  // all of result_'s columns, in order
   int64_t pos_ = 0;
 };
 

@@ -231,18 +231,19 @@ ExprPtr Expr::Rename(const NameMap& mapping) const {
 
 namespace {
 
-// Reads row r of `col` as double (numeric types only).
+// Reads row r of `col` as double (numeric types only). The span accessors
+// resolve views, so the interpreter is oblivious to view vs. owned storage.
 inline double AsDouble(const ColumnVector& col, int64_t r) {
   switch (col.type()) {
     case TypeId::kBool:
-      return col.Data<uint8_t>()[r];
+      return col.Raw<uint8_t>()[r];
     case TypeId::kInt32:
     case TypeId::kDate:
-      return col.Data<int32_t>()[r];
+      return col.Raw<int32_t>()[r];
     case TypeId::kInt64:
-      return static_cast<double>(col.Data<int64_t>()[r]);
+      return static_cast<double>(col.Raw<int64_t>()[r]);
     case TypeId::kDouble:
-      return col.Data<double>()[r];
+      return col.Raw<double>()[r];
     default:
       RDB_UNREACHABLE("AsDouble on string");
   }
@@ -251,14 +252,14 @@ inline double AsDouble(const ColumnVector& col, int64_t r) {
 inline int64_t AsInt64(const ColumnVector& col, int64_t r) {
   switch (col.type()) {
     case TypeId::kBool:
-      return col.Data<uint8_t>()[r];
+      return col.Raw<uint8_t>()[r];
     case TypeId::kInt32:
     case TypeId::kDate:
-      return col.Data<int32_t>()[r];
+      return col.Raw<int32_t>()[r];
     case TypeId::kInt64:
-      return col.Data<int64_t>()[r];
+      return col.Raw<int64_t>()[r];
     case TypeId::kDouble:
-      return static_cast<int64_t>(col.Data<double>()[r]);
+      return static_cast<int64_t>(col.Raw<double>()[r]);
     default:
       RDB_UNREACHABLE("AsInt64 on string");
   }
@@ -290,8 +291,8 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       if (l->type() == TypeId::kString || r->type() == TypeId::kString) {
         RDB_CHECK(l->type() == TypeId::kString &&
                   r->type() == TypeId::kString);
-        const auto& ls = l->Data<std::string>();
-        const auto& rs = r->Data<std::string>();
+        const std::string* ls = l->Raw<std::string>();
+        const std::string* rs = r->Raw<std::string>();
         for (int64_t i = 0; i < n; ++i) {
           int c = ls[i].compare(rs[i]);
           bool v = false;
@@ -329,14 +330,14 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       o.resize(n);
       if (logical_op_ == LogicalOp::kNot) {
         ColumnPtr c = children_[0]->Eval(batch, input);
-        const auto& cv = c->Data<uint8_t>();
+        const uint8_t* cv = c->Raw<uint8_t>();
         for (int64_t i = 0; i < n; ++i) o[i] = !cv[i];
         return out;
       }
       ColumnPtr l = children_[0]->Eval(batch, input);
       ColumnPtr r = children_[1]->Eval(batch, input);
-      const auto& lv = l->Data<uint8_t>();
-      const auto& rv = r->Data<uint8_t>();
+      const uint8_t* lv = l->Raw<uint8_t>();
+      const uint8_t* rv = r->Raw<uint8_t>();
       if (logical_op_ == LogicalOp::kAnd) {
         for (int64_t i = 0; i < n; ++i) o[i] = lv[i] & rv[i];
       } else {
@@ -397,7 +398,7 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
         auto out = MakeColumn(TypeId::kInt32);
         auto& o = out->Data<int32_t>();
         o.resize(n);
-        const auto& a = arg->Data<int32_t>();
+        const int32_t* a = arg->Raw<int32_t>();
         if (name_ == "year") {
           for (int64_t i = 0; i < n; ++i) o[i] = DateYear(a[i]);
         } else {
@@ -430,12 +431,12 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       ColumnPtr e = children_[2]->Eval(batch, input);
       TypeId out_type = DeduceType(input);
       auto out = MakeColumn(out_type);
-      const auto& cv = cond->Data<uint8_t>();
+      const uint8_t* cv = cond->Raw<uint8_t>();
       if (out_type == TypeId::kString) {
         auto& o = out->Data<std::string>();
         o.resize(n);
         for (int64_t i = 0; i < n; ++i) {
-          o[i] = cv[i] ? t->Data<std::string>()[i] : e->Data<std::string>()[i];
+          o[i] = cv[i] ? t->Raw<std::string>()[i] : e->Raw<std::string>()[i];
         }
       } else if (out_type == TypeId::kDouble) {
         auto& o = out->Data<double>();
@@ -460,7 +461,7 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       if (v->type() == TypeId::kString) {
         std::unordered_set<std::string> set;
         for (const auto& d : in_values_) set.insert(std::get<std::string>(d));
-        const auto& sv = v->Data<std::string>();
+        const std::string* sv = v->Raw<std::string>();
         for (int64_t i = 0; i < n; ++i) o[i] = set.count(sv[i]) > 0;
       } else {
         std::unordered_set<int64_t> set;
@@ -475,7 +476,7 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       auto out = MakeColumn(TypeId::kBool);
       auto& o = out->Data<uint8_t>();
       o.resize(n);
-      const auto& sv = v->Data<std::string>();
+      const std::string* sv = v->Raw<std::string>();
       for (int64_t i = 0; i < n; ++i) {
         bool m = false;
         switch (like_kind_) {
@@ -496,10 +497,11 @@ std::vector<int32_t> Expr::EvalSelection(const Batch& batch,
                                          const Schema& input) const {
   ColumnPtr mask = Eval(batch, input);
   RDB_CHECK_MSG(mask->type() == TypeId::kBool, "predicate must be boolean");
-  const auto& m = mask->Data<uint8_t>();
+  const uint8_t* m = mask->Raw<uint8_t>();
+  const int64_t n = mask->size();
   std::vector<int32_t> sel;
-  sel.reserve(m.size());
-  for (size_t i = 0; i < m.size(); ++i) {
+  sel.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
     if (m[i]) sel.push_back(static_cast<int32_t>(i));
   }
   return sel;

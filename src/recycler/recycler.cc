@@ -357,7 +357,12 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
   RGNode* g = m->gnode;
 
   if (CacheableType(plan->type())) {
-    // Exact reuse, stalling on an in-flight materialization first.
+    // Exact reuse, stalling on an in-flight materialization first. The
+    // snapshot TablePtr taken under mat_mutex pins the result for this
+    // query: scans emit zero-copy views of its columns, and shared
+    // ownership (plan -> TablePtr -> ColumnPtr -> batch views) keeps the
+    // data alive even if the recycler evicts the entry mid-scan (see
+    // DESIGN.md, "Zero-copy views and result lifetime").
     TablePtr snapshot;
     double replaced_bcost = 0;
     {
@@ -599,7 +604,10 @@ void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
 // ---------------------------------------------------------------------------
 
 void Recycler::EvictNode(RGNode* node, bool update_h) {
-  // Caller holds the exclusive graph lock.
+  // Caller holds the exclusive graph lock. Dropping node->cached only
+  // releases the graph's reference: concurrent streams that already took a
+  // snapshot keep the table (and any column views into it) alive until
+  // their scans drain.
   cache_.Remove(node);
   if (update_h) UpdateHrOnEvict(node);
   node->cached = nullptr;

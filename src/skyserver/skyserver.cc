@@ -55,11 +55,11 @@ TablePtr EvalNearby(const Catalog& catalog, const std::vector<Datum>& args) {
   double radius = DatumAsDouble(args[2]);
   TablePtr photo = catalog.GetTable("photoprimary");
   RDB_CHECK_MSG(photo != nullptr, "photoprimary not registered");
-  const auto& ids = photo->ColumnByName("objID")->Data<int64_t>();
-  const auto& ras = photo->ColumnByName("ra")->Data<double>();
-  const auto& decs = photo->ColumnByName("dec")->Data<double>();
+  const int64_t* ids = photo->ColumnByName("objID")->Raw<int64_t>();
+  const double* ras = photo->ColumnByName("ra")->Raw<double>();
+  const double* decs = photo->ColumnByName("dec")->Raw<double>();
   TablePtr result = MakeTable(NearbySchema());
-  for (size_t i = 0; i < ids.size(); ++i) {
+  for (int64_t i = 0; i < photo->num_rows(); ++i) {
     double d = AngularDistanceDeg(ra, dec, ras[i], decs[i]);
     if (d <= radius) {
       result->AppendRow({ids[i], d});

@@ -30,7 +30,29 @@ ColumnVector::ColumnVector(TypeId type) : type_(type) {
   }
 }
 
-int64_t ColumnVector::size() const {
+ColumnVector::ColumnVector(std::shared_ptr<const ColumnVector> src,
+                           int64_t offset, int64_t length)
+    : ColumnVector(src->type()) {
+  view_src_ = std::move(src);
+  view_offset_ = offset;
+  view_length_ = length;
+}
+
+ColumnPtr ColumnVector::Slice(std::shared_ptr<const ColumnVector> src,
+                              int64_t offset, int64_t length) {
+  RDB_CHECK(src != nullptr);
+  RDB_CHECK_MSG(offset >= 0 && length >= 0 && offset + length <= src->size(),
+                "slice out of range");
+  if (src->is_view()) {
+    // Flatten: view the root source directly (it is already shared).
+    return ColumnPtr(new ColumnVector(src->view_src_,
+                                      src->view_offset_ + offset, length));
+  }
+  src->shared_.store(true, std::memory_order_relaxed);
+  return ColumnPtr(new ColumnVector(std::move(src), offset, length));
+}
+
+int64_t ColumnVector::OwnedSize() const {
   return std::visit([](const auto& v) { return static_cast<int64_t>(v.size()); },
                     data_);
 }
@@ -38,16 +60,16 @@ int64_t ColumnVector::size() const {
 Datum ColumnVector::GetDatum(int64_t row) const {
   switch (type_) {
     case TypeId::kBool:
-      return static_cast<bool>(Data<uint8_t>()[row]);
+      return static_cast<bool>(Raw<uint8_t>()[row]);
     case TypeId::kInt32:
     case TypeId::kDate:
-      return Data<int32_t>()[row];
+      return Raw<int32_t>()[row];
     case TypeId::kInt64:
-      return Data<int64_t>()[row];
+      return Raw<int64_t>()[row];
     case TypeId::kDouble:
-      return Data<double>()[row];
+      return Raw<double>()[row];
     case TypeId::kString:
-      return Data<std::string>()[row];
+      return Raw<std::string>()[row];
   }
   RDB_UNREACHABLE("bad type");
 }
@@ -81,12 +103,21 @@ void ColumnVector::Append(const Datum& value) {
 void ColumnVector::AppendSelected(const ColumnVector& src,
                                   const std::vector<int32_t>& sel) {
   RDB_CHECK(src.type_ == type_);
+  CheckMutable();
+  const ColumnVector& sp = src.payload();
+  const int64_t off = src.view_offset_;
+  const int64_t n = src.size();
   std::visit(
       [&](auto& dst) {
         using Vec = std::decay_t<decltype(dst)>;
-        const Vec& s = std::get<Vec>(src.data_);
+        const Vec& s = std::get<Vec>(sp.data_);
         dst.reserve(dst.size() + sel.size());
-        for (int32_t i : sel) dst.push_back(s[i]);
+        for (int32_t i : sel) {
+          // Selection indexes are window-relative; on a view an index past
+          // the window would silently read the root column, so check.
+          RDB_CHECK_MSG(i >= 0 && i < n, "selection index out of bounds");
+          dst.push_back(s[off + i]);
+        }
       },
       data_);
 }
@@ -94,71 +125,98 @@ void ColumnVector::AppendSelected(const ColumnVector& src,
 void ColumnVector::AppendRange(const ColumnVector& src, int64_t offset,
                                int64_t count) {
   RDB_CHECK(src.type_ == type_);
+  RDB_CHECK_MSG(offset >= 0 && count >= 0 && offset + count <= src.size(),
+                "append range out of bounds");
+  CheckMutable();
+  const ColumnVector& sp = src.payload();
+  const int64_t off = src.view_offset_ + offset;
   std::visit(
       [&](auto& dst) {
         using Vec = std::decay_t<decltype(dst)>;
-        const Vec& s = std::get<Vec>(src.data_);
-        dst.insert(dst.end(), s.begin() + offset, s.begin() + offset + count);
+        const Vec& s = std::get<Vec>(sp.data_);
+        dst.insert(dst.end(), s.begin() + off, s.begin() + off + count);
       },
       data_);
 }
 
 void ColumnVector::Reserve(int64_t n) {
+  CheckMutable();
   std::visit([n](auto& v) { v.reserve(n); }, data_);
 }
 
 void ColumnVector::Clear() {
+  RDB_CHECK_MSG(!shared(), "clearing a shared column source");
+  view_src_.reset();
+  view_offset_ = 0;
+  view_length_ = 0;
   std::visit([](auto& v) { v.clear(); }, data_);
 }
 
 int64_t ColumnVector::ByteSize() const {
+  const int64_t n = size();
+  // Owning columns account for their allocated capacity; views account for
+  // the logical size of the viewed range (they own nothing, but
+  // materializing them downstream would cost this much).
+  if (type_ == TypeId::kString) {
+    int64_t slots = is_view()
+                        ? n
+                        : static_cast<int64_t>(
+                              std::get<std::vector<std::string>>(data_)
+                                  .capacity());
+    int64_t total = slots * static_cast<int64_t>(sizeof(std::string));
+    const std::string* s = Raw<std::string>();
+    for (int64_t i = 0; i < n; ++i) {
+      total += static_cast<int64_t>(s[i].capacity());
+    }
+    return total;
+  }
+  int64_t width = 0;
   switch (type_) {
     case TypeId::kBool:
-      return static_cast<int64_t>(Data<uint8_t>().capacity());
+      width = 1;
+      break;
     case TypeId::kInt32:
     case TypeId::kDate:
-      return static_cast<int64_t>(Data<int32_t>().capacity() * 4);
+      width = 4;
+      break;
     case TypeId::kInt64:
-      return static_cast<int64_t>(Data<int64_t>().capacity() * 8);
     case TypeId::kDouble:
-      return static_cast<int64_t>(Data<double>().capacity() * 8);
-    case TypeId::kString: {
-      int64_t total = static_cast<int64_t>(Data<std::string>().capacity() *
-                                           sizeof(std::string));
-      for (const auto& s : Data<std::string>()) {
-        total += static_cast<int64_t>(s.capacity());
-      }
-      return total;
-    }
+      width = 8;
+      break;
+    case TypeId::kString:
+      RDB_UNREACHABLE("handled above");
   }
-  RDB_UNREACHABLE("bad type");
+  if (is_view()) return n * width;
+  int64_t capacity = std::visit(
+      [](const auto& v) { return static_cast<int64_t>(v.capacity()); }, data_);
+  return capacity * width;
 }
 
 uint64_t ColumnVector::HashRow(int64_t row, uint64_t seed) const {
   switch (type_) {
     case TypeId::kBool: {
-      uint64_t v = Data<uint8_t>()[row];
+      uint64_t v = Raw<uint8_t>()[row];
       return HashCombine(seed, HashMix(v + 1));
     }
     case TypeId::kInt32:
     case TypeId::kDate: {
       uint64_t v = static_cast<uint64_t>(
-          static_cast<int64_t>(Data<int32_t>()[row]));
+          static_cast<int64_t>(Raw<int32_t>()[row]));
       return HashCombine(seed, HashMix(v));
     }
     case TypeId::kInt64: {
-      uint64_t v = static_cast<uint64_t>(Data<int64_t>()[row]);
+      uint64_t v = static_cast<uint64_t>(Raw<int64_t>()[row]);
       return HashCombine(seed, HashMix(v));
     }
     case TypeId::kDouble: {
-      double d = Data<double>()[row];
+      double d = Raw<double>()[row];
       uint64_t v;
       static_assert(sizeof(v) == sizeof(d));
       __builtin_memcpy(&v, &d, sizeof(v));
       return HashCombine(seed, HashMix(v));
     }
     case TypeId::kString:
-      return HashCombine(seed, HashString(Data<std::string>()[row]));
+      return HashCombine(seed, HashString(Raw<std::string>()[row]));
   }
   RDB_UNREACHABLE("bad type");
 }
@@ -168,16 +226,16 @@ bool ColumnVector::RowEquals(int64_t a, const ColumnVector& other,
   RDB_CHECK(type_ == other.type_);
   switch (type_) {
     case TypeId::kBool:
-      return Data<uint8_t>()[a] == other.Data<uint8_t>()[b];
+      return Raw<uint8_t>()[a] == other.Raw<uint8_t>()[b];
     case TypeId::kInt32:
     case TypeId::kDate:
-      return Data<int32_t>()[a] == other.Data<int32_t>()[b];
+      return Raw<int32_t>()[a] == other.Raw<int32_t>()[b];
     case TypeId::kInt64:
-      return Data<int64_t>()[a] == other.Data<int64_t>()[b];
+      return Raw<int64_t>()[a] == other.Raw<int64_t>()[b];
     case TypeId::kDouble:
-      return Data<double>()[a] == other.Data<double>()[b];
+      return Raw<double>()[a] == other.Raw<double>()[b];
     case TypeId::kString:
-      return Data<std::string>()[a] == other.Data<std::string>()[b];
+      return Raw<std::string>()[a] == other.Raw<std::string>()[b];
   }
   RDB_UNREACHABLE("bad type");
 }

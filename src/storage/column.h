@@ -1,6 +1,7 @@
 // Columnar vector: the unit of data flow in the vector-at-a-time engine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,22 +29,57 @@ using ColumnPtr = std::shared_ptr<ColumnVector>;
 ///
 /// ColumnVectors serve both as batch payloads (typically ~1024 rows) and
 /// as full table columns / materialized recycler-cache results.
+///
+/// A column is either *owning* (holds its own storage) or a *view*: an
+/// O(1) (source, offset, length) window into another, immutable column
+/// created with Slice(). Scans emit views of table columns instead of
+/// copies; all read paths (Raw, GetDatum, HashRow, RowEquals, Append*
+/// sources) resolve views transparently.
+///
+/// Aliasing rule: slicing a column marks the source as shared, and shared
+/// or view columns reject every mutation with RDB_CHECK (see DESIGN.md,
+/// "Zero-copy views and result lifetime"). Clear() is the one exception on
+/// views: it detaches the view and leaves an empty owning column, so batch
+/// columns can be recycled across Next() calls.
 class ColumnVector {
  public:
   explicit ColumnVector(TypeId type);
 
-  TypeId type() const { return type_; }
-  int64_t size() const;
+  RDB_DISALLOW_COPY_AND_ASSIGN(ColumnVector);
 
-  /// Typed access. T must match the storage type for type(); checked.
+  /// O(1) view of rows [offset, offset+length) of `src`. Marks `src` as
+  /// shared (permanently immutable). Slicing a view re-targets the root
+  /// source, so chains never deepen.
+  static ColumnPtr Slice(std::shared_ptr<const ColumnVector> src,
+                         int64_t offset, int64_t length);
+
+  TypeId type() const { return type_; }
+  int64_t size() const {
+    return is_view() ? view_length_ : OwnedSize();
+  }
+
+  bool is_view() const { return view_src_ != nullptr; }
+  /// True once the column has been used as a Slice() source; shared
+  /// columns are immutable for the rest of their life.
+  bool shared() const { return shared_.load(std::memory_order_relaxed); }
+
+  /// Span-style read access: pointer to this column's first row. T must
+  /// match the storage type for type(); checked. Valid for size() rows.
+  /// Resolves views, so callers are oblivious to view vs. owned storage.
+  template <typename T>
+  const T* Raw() const {
+    const ColumnVector& p = payload();
+    RDB_CHECK_MSG(std::holds_alternative<std::vector<T>>(p.data_),
+                  "ColumnVector type mismatch");
+    return std::get<std::vector<T>>(p.data_).data() + view_offset_;
+  }
+
+  /// Typed builder access to the owning storage. T must match the storage
+  /// type for type(); checked. Aborts on views and on shared sources —
+  /// use Raw() to read.
   template <typename T>
   std::vector<T>& Data() {
-    RDB_CHECK_MSG(std::holds_alternative<std::vector<T>>(data_),
-                  "ColumnVector type mismatch");
-    return std::get<std::vector<T>>(data_);
-  }
-  template <typename T>
-  const std::vector<T>& Data() const {
+    CheckMutable();
     RDB_CHECK_MSG(std::holds_alternative<std::vector<T>>(data_),
                   "ColumnVector type mismatch");
     return std::get<std::vector<T>>(data_);
@@ -65,9 +101,14 @@ class ColumnVector {
   void AppendAll(const ColumnVector& src) { AppendRange(src, 0, src.size()); }
 
   void Reserve(int64_t n);
+
+  /// Empties the column. On a view this detaches the source and reverts to
+  /// an empty owning column of the same type; aborts on a shared source.
   void Clear();
 
   /// Approximate heap footprint in bytes (used for recycler-cache sizing).
+  /// For a view: the logical byte size of the viewed range (a view owns
+  /// nothing, but downstream materialization of it would cost this much).
   int64_t ByteSize() const;
 
   /// Hashes row `row` into `seed` (used by hash join/aggregate).
@@ -77,11 +118,32 @@ class ColumnVector {
   bool RowEquals(int64_t a, const ColumnVector& other, int64_t b) const;
 
  private:
+  ColumnVector(std::shared_ptr<const ColumnVector> src, int64_t offset,
+               int64_t length);
+
+  const ColumnVector& payload() const {
+    return is_view() ? *view_src_ : *this;
+  }
+  int64_t OwnedSize() const;
+  void CheckMutable() const {
+    RDB_CHECK_MSG(!is_view(), "mutating a view column");
+    RDB_CHECK_MSG(!shared(), "mutating a shared column source");
+  }
+
   TypeId type_;
   std::variant<std::vector<uint8_t>, std::vector<int32_t>,
                std::vector<int64_t>, std::vector<double>,
                std::vector<std::string>>
       data_;
+  /// View state: non-null view_src_ makes this a window of
+  /// [view_offset_, view_offset_ + view_length_) into an owning column.
+  /// The shared_ptr keeps the source alive past cache eviction.
+  std::shared_ptr<const ColumnVector> view_src_;
+  int64_t view_offset_ = 0;
+  int64_t view_length_ = 0;
+  /// Sticky: set the first time this column is sliced (atomic because
+  /// concurrent query streams slice the same cached result).
+  mutable std::atomic<bool> shared_{false};
 };
 
 /// Creates an empty column of the given type.

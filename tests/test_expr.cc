@@ -35,7 +35,7 @@ Batch TestBatch() {
 TEST(ExprEvalTest, ColumnRef) {
   Batch b = TestBatch();
   ColumnPtr c = Expr::Column("a")->Eval(b, TestSchema());
-  EXPECT_EQ(c->Data<int32_t>()[2], 3);
+  EXPECT_EQ(c->Raw<int32_t>()[2], 3);
 }
 
 TEST(ExprEvalTest, Arithmetic) {
@@ -47,7 +47,7 @@ TEST(ExprEvalTest, Arithmetic) {
       Expr::Column("b"));
   EXPECT_EQ(e->DeduceType(TestSchema()), TypeId::kDouble);
   ColumnPtr c = e->Eval(b, TestSchema());
-  EXPECT_DOUBLE_EQ(c->Data<double>()[1], 6.5);
+  EXPECT_DOUBLE_EQ(c->Raw<double>()[1], 6.5);
 }
 
 TEST(ExprEvalTest, IntegerDivisionAndZeroGuard) {
@@ -55,7 +55,7 @@ TEST(ExprEvalTest, IntegerDivisionAndZeroGuard) {
   ExprPtr e = Expr::Arith(ArithOp::kDiv, Expr::Literal(int64_t{10}),
                           Expr::Literal(int64_t{0}));
   ColumnPtr c = e->Eval(b, TestSchema());
-  EXPECT_EQ(c->Data<int64_t>()[0], 0);  // div-by-zero yields 0, not UB
+  EXPECT_EQ(c->Raw<int64_t>()[0], 0);  // div-by-zero yields 0, not UB
 }
 
 TEST(ExprEvalTest, ComparisonsNumericAndString) {
@@ -84,19 +84,19 @@ TEST(ExprEvalTest, LogicalOps) {
 TEST(ExprEvalTest, DateYearMonthFunctions) {
   Batch b = TestBatch();
   ColumnPtr y = Expr::Func("year", {Expr::Column("d")})->Eval(b, TestSchema());
-  EXPECT_EQ(y->Data<int32_t>()[0], 1995);
-  EXPECT_EQ(y->Data<int32_t>()[2], 1997);
+  EXPECT_EQ(y->Raw<int32_t>()[0], 1995);
+  EXPECT_EQ(y->Raw<int32_t>()[2], 1997);
   ColumnPtr m = Expr::Func("month", {Expr::Column("d")})->Eval(b, TestSchema());
-  EXPECT_EQ(m->Data<int32_t>()[1], 7);
+  EXPECT_EQ(m->Raw<int32_t>()[1], 7);
 }
 
 TEST(ExprEvalTest, BinFunctionFloorDivision) {
   Batch b = TestBatch();
   ExprPtr e = Expr::Func("bin", {Expr::Column("a"), Expr::Literal(int64_t{2})});
   ColumnPtr c = e->Eval(b, TestSchema());
-  EXPECT_EQ(c->Data<int64_t>()[0], 0);  // 1/2
-  EXPECT_EQ(c->Data<int64_t>()[1], 1);  // 2/2
-  EXPECT_EQ(c->Data<int64_t>()[2], 1);  // 3/2
+  EXPECT_EQ(c->Raw<int64_t>()[0], 0);  // 1/2
+  EXPECT_EQ(c->Raw<int64_t>()[1], 1);  // 2/2
+  EXPECT_EQ(c->Raw<int64_t>()[2], 1);  // 3/2
 }
 
 TEST(ExprEvalTest, CaseWhen) {
@@ -104,8 +104,8 @@ TEST(ExprEvalTest, CaseWhen) {
   ExprPtr e = Expr::Case(Expr::Gt(Expr::Column("a"), Expr::Literal(int64_t{1})),
                          Expr::Column("b"), Expr::Literal(0.0));
   ColumnPtr c = e->Eval(b, TestSchema());
-  EXPECT_DOUBLE_EQ(c->Data<double>()[0], 0.0);
-  EXPECT_DOUBLE_EQ(c->Data<double>()[2], 3.5);
+  EXPECT_DOUBLE_EQ(c->Raw<double>()[0], 0.0);
+  EXPECT_DOUBLE_EQ(c->Raw<double>()[2], 3.5);
 }
 
 TEST(ExprEvalTest, InList) {

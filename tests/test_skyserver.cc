@@ -26,10 +26,10 @@ TEST_F(SkyTest, ConeSearchReturnsOnlyObjectsWithinRadius) {
   Recycler off(catalog_, cfg);
   ExecResult r = off.Execute(fn);
   ASSERT_GT(r.table->num_rows(), 0);
-  const auto& dist = r.table->ColumnByName("distance")->Data<double>();
-  for (double d : dist) {
-    EXPECT_GE(d, 0.0);
-    EXPECT_LE(d, 0.5);
+  const double* dist = r.table->ColumnByName("distance")->Raw<double>();
+  for (int64_t i = 0; i < r.table->num_rows(); ++i) {
+    EXPECT_GE(dist[i], 0.0);
+    EXPECT_LE(dist[i], 0.5);
   }
 }
 

@@ -20,7 +20,7 @@ TEST(ColumnTest, AppendAndGet) {
 TEST(ColumnTest, DateSharesInt32Storage) {
   ColumnVector col(TypeId::kDate);
   col.Append(Datum(MakeDate(1998, 12, 1)));
-  EXPECT_EQ(col.Data<int32_t>()[0], MakeDate(1998, 12, 1));
+  EXPECT_EQ(col.Raw<int32_t>()[0], MakeDate(1998, 12, 1));
 }
 
 TEST(ColumnTest, AppendSelectedGathers) {
@@ -29,9 +29,9 @@ TEST(ColumnTest, AppendSelectedGathers) {
   ColumnVector dst(TypeId::kInt32);
   dst.AppendSelected(src, {1, 3, 5});
   ASSERT_EQ(dst.size(), 3);
-  EXPECT_EQ(dst.Data<int32_t>()[0], 1);
-  EXPECT_EQ(dst.Data<int32_t>()[1], 3);
-  EXPECT_EQ(dst.Data<int32_t>()[2], 5);
+  EXPECT_EQ(dst.Raw<int32_t>()[0], 1);
+  EXPECT_EQ(dst.Raw<int32_t>()[1], 3);
+  EXPECT_EQ(dst.Raw<int32_t>()[2], 5);
 }
 
 TEST(ColumnTest, AppendRangeStrings) {
@@ -42,8 +42,8 @@ TEST(ColumnTest, AppendRangeStrings) {
   ColumnVector dst(TypeId::kString);
   dst.AppendRange(src, 1, 2);
   ASSERT_EQ(dst.size(), 2);
-  EXPECT_EQ(dst.Data<std::string>()[0], "b");
-  EXPECT_EQ(dst.Data<std::string>()[1], "c");
+  EXPECT_EQ(dst.Raw<std::string>()[0], "b");
+  EXPECT_EQ(dst.Raw<std::string>()[1], "c");
 }
 
 TEST(ColumnTest, HashRowEqualValuesEqualHash) {

@@ -41,15 +41,15 @@ TEST_F(TpchTest, DbgenCardinalities) {
 
 TEST_F(TpchTest, DbgenDateRules) {
   TablePtr l = catalog_->GetTable("lineitem");
-  const auto& od = catalog_->GetTable("orders")->ColumnByName("o_orderdate")
-                       ->Data<int32_t>();
-  for (int32_t d : od) {
-    EXPECT_GE(d, MakeDate(1992, 1, 1));
-    EXPECT_LE(d, MakeDate(1998, 8, 2));
+  TablePtr o = catalog_->GetTable("orders");
+  const int32_t* od = o->ColumnByName("o_orderdate")->Raw<int32_t>();
+  for (int64_t i = 0; i < o->num_rows(); ++i) {
+    EXPECT_GE(od[i], MakeDate(1992, 1, 1));
+    EXPECT_LE(od[i], MakeDate(1998, 8, 2));
   }
-  const auto& ship = l->ColumnByName("l_shipdate")->Data<int32_t>();
-  const auto& receipt = l->ColumnByName("l_receiptdate")->Data<int32_t>();
-  for (size_t i = 0; i < ship.size(); ++i) {
+  const int32_t* ship = l->ColumnByName("l_shipdate")->Raw<int32_t>();
+  const int32_t* receipt = l->ColumnByName("l_receiptdate")->Raw<int32_t>();
+  for (int64_t i = 0; i < l->num_rows(); ++i) {
     EXPECT_GT(receipt[i], ship[i]);
     EXPECT_LE(receipt[i] - ship[i], 30);
   }
@@ -57,17 +57,15 @@ TEST_F(TpchTest, DbgenDateRules) {
 
 TEST_F(TpchTest, DbgenValueDomains) {
   TablePtr l = catalog_->GetTable("lineitem");
-  const auto& qty = l->ColumnByName("l_quantity")->Data<double>();
-  const auto& disc = l->ColumnByName("l_discount")->Data<double>();
-  for (size_t i = 0; i < qty.size(); ++i) {
+  const double* qty = l->ColumnByName("l_quantity")->Raw<double>();
+  const double* disc = l->ColumnByName("l_discount")->Raw<double>();
+  const std::string* flag = l->ColumnByName("l_returnflag")->Raw<std::string>();
+  for (int64_t i = 0; i < l->num_rows(); ++i) {
     EXPECT_GE(qty[i], 1);
     EXPECT_LE(qty[i], 50);
     EXPECT_GE(disc[i], 0.0);
     EXPECT_LE(disc[i], 0.10 + 1e-9);
-  }
-  const auto& flag = l->ColumnByName("l_returnflag")->Data<std::string>();
-  for (const auto& f : flag) {
-    EXPECT_TRUE(f == "R" || f == "A" || f == "N");
+    EXPECT_TRUE(flag[i] == "R" || flag[i] == "A" || flag[i] == "N");
   }
 }
 

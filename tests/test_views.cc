@@ -1,0 +1,251 @@
+// Aliasing-safety tests for zero-copy view columns: slicing, slice-of-
+// slice, mutation-after-share rejection, and cached-result lifetime under
+// concurrent eviction (see DESIGN.md, "Zero-copy views and result
+// lifetime").
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/operator.h"
+#include "exec/operators.h"
+#include "recycler/recycler.h"
+#include "storage/column.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+ColumnPtr Int64Column(std::vector<int64_t> values) {
+  ColumnPtr col = MakeColumn(TypeId::kInt64);
+  auto& data = col->Data<int64_t>();
+  data = std::move(values);
+  return col;
+}
+
+TEST(ViewTest, SliceIsZeroCopyWindow) {
+  ColumnPtr src = Int64Column({10, 11, 12, 13, 14, 15});
+  ColumnPtr view = ColumnVector::Slice(src, 2, 3);
+  ASSERT_TRUE(view->is_view());
+  ASSERT_TRUE(src->shared());
+  EXPECT_EQ(view->size(), 3);
+  EXPECT_EQ(view->type(), TypeId::kInt64);
+  EXPECT_EQ(view->Raw<int64_t>()[0], 12);
+  EXPECT_EQ(view->Raw<int64_t>()[2], 14);
+  // The span aliases the source storage: no bytes were copied.
+  EXPECT_EQ(view->Raw<int64_t>(), src->Raw<int64_t>() + 2);
+  EXPECT_EQ(std::get<int64_t>(view->GetDatum(1)), 13);
+}
+
+TEST(ViewTest, SliceOfSliceFlattensToRoot) {
+  ColumnPtr src = Int64Column({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ColumnPtr outer = ColumnVector::Slice(src, 2, 6);  // 2..7
+  ColumnPtr inner = ColumnVector::Slice(outer, 1, 3);  // 3..5
+  ASSERT_EQ(inner->size(), 3);
+  EXPECT_EQ(inner->Raw<int64_t>()[0], 3);
+  EXPECT_EQ(inner->Raw<int64_t>()[2], 5);
+  // Flattened: the inner view aliases the root storage directly, so
+  // dropping the intermediate view cannot dangle it.
+  outer.reset();
+  EXPECT_EQ(inner->Raw<int64_t>(), src->Raw<int64_t>() + 3);
+}
+
+TEST(ViewTest, SliceBoundsChecked) {
+  ColumnPtr src = Int64Column({1, 2, 3});
+  EXPECT_DEATH(ColumnVector::Slice(src, 1, 3), "slice out of range");
+  EXPECT_DEATH(ColumnVector::Slice(src, -1, 1), "slice out of range");
+}
+
+TEST(ViewTest, ReadPathsResolveViews) {
+  ColumnPtr src = Int64Column({7, 8, 9, 8});
+  ColumnPtr view = ColumnVector::Slice(src, 1, 3);  // 8, 9, 8
+  // HashRow / RowEquals on views index view-relative rows.
+  EXPECT_EQ(view->HashRow(0, 17), src->HashRow(1, 17));
+  EXPECT_TRUE(view->RowEquals(0, *view, 2));
+  EXPECT_FALSE(view->RowEquals(0, *src, 0));
+  // Append* read through views.
+  ColumnPtr owned = MakeColumn(TypeId::kInt64);
+  owned->AppendRange(*view, 1, 2);
+  owned->AppendSelected(*view, {0});
+  ASSERT_EQ(owned->size(), 3);
+  EXPECT_EQ(owned->Raw<int64_t>()[0], 9);
+  EXPECT_EQ(owned->Raw<int64_t>()[1], 8);
+  EXPECT_EQ(owned->Raw<int64_t>()[2], 8);
+}
+
+TEST(ViewTest, MutatingViewOrSharedSourceAborts) {
+  ColumnPtr src = Int64Column({1, 2, 3, 4});
+  ColumnPtr view = ColumnVector::Slice(src, 0, 2);
+  EXPECT_DEATH(view->Append(Datum(int64_t{5})), "mutating a view column");
+  EXPECT_DEATH(view->Data<int64_t>(), "mutating a view column");
+  EXPECT_DEATH(view->Reserve(16), "mutating a view column");
+  EXPECT_DEATH(view->AppendRange(*src, 0, 1), "mutating a view column");
+  // The source is frozen by the slice.
+  EXPECT_DEATH(src->Append(Datum(int64_t{5})), "mutating a shared column");
+  EXPECT_DEATH(src->Data<int64_t>(), "mutating a shared column");
+  EXPECT_DEATH(src->Clear(), "clearing a shared column");
+}
+
+TEST(ViewTest, ClearDetachesViewForReuse) {
+  ColumnPtr src = Int64Column({1, 2, 3, 4});
+  ColumnPtr view = ColumnVector::Slice(src, 1, 2);
+  view->Clear();  // detaches; the column is an empty owning column again
+  EXPECT_FALSE(view->is_view());
+  EXPECT_EQ(view->size(), 0);
+  view->Append(Datum(int64_t{42}));
+  EXPECT_EQ(view->Raw<int64_t>()[0], 42);
+  // The source is unaffected (still frozen, still intact).
+  EXPECT_EQ(src->Raw<int64_t>()[1], 2);
+}
+
+TEST(ViewTest, ViewKeepsSourceAliveAfterTableDropped) {
+  ColumnPtr view;
+  {
+    TablePtr t = MakeTable(Schema({{"x", TypeId::kInt64}}));
+    for (int64_t i = 0; i < 100; ++i) t->AppendRow({i});
+    view = ColumnVector::Slice(t->column(0), 90, 10);
+  }
+  // The table is gone; the view's shared ownership keeps the column alive.
+  ASSERT_EQ(view->size(), 10);
+  EXPECT_EQ(view->Raw<int64_t>()[0], 90);
+  EXPECT_EQ(view->Raw<int64_t>()[9], 99);
+}
+
+TEST(ViewTest, ScanEmitsViewsAndFilterForwardsFullBatches) {
+  TablePtr t = MakeTable(Schema({{"x", TypeId::kInt64}}));
+  for (int64_t i = 0; i < 2000; ++i) t->AppendRow({i});
+  Schema schema = t->schema();
+  auto scan = std::make_unique<ScanOp>(schema, t, std::vector<int>{0});
+  // Predicate true for every row: FilterOp must forward the scan's view
+  // batches untouched.
+  FilterOp filter(schema, std::move(scan),
+                  Expr::Ge(Expr::Column("x"), Expr::Literal(int64_t{0})));
+  filter.Open();
+  Batch b;
+  int64_t rows = 0;
+  while (filter.Next(&b)) {
+    ASSERT_FALSE(b.columns.empty());
+    EXPECT_TRUE(b.columns[0]->is_view());
+    EXPECT_EQ(b.columns[0]->Raw<int64_t>()[0], rows);
+    rows += b.num_rows;
+  }
+  filter.Close();
+  EXPECT_EQ(rows, 2000);
+  EXPECT_TRUE(t->column(0)->shared());
+}
+
+TEST(ViewTest, InitBatchReusesUniquelyOwnedColumns) {
+  Schema schema({{"a", TypeId::kInt64}, {"b", TypeId::kString}});
+  Batch b;
+  InitBatch(schema, &b);
+  b.columns[0]->Append(Datum(int64_t{1}));
+  const ColumnVector* a0 = b.columns[0].get();
+  const ColumnVector* b0 = b.columns[1].get();
+  InitBatch(schema, &b);
+  // Same columns, cleared in place: no reallocation churn.
+  EXPECT_EQ(b.columns[0].get(), a0);
+  EXPECT_EQ(b.columns[1].get(), b0);
+  EXPECT_EQ(b.columns[0]->size(), 0);
+  // A column still referenced elsewhere must be replaced, not cleared.
+  ColumnPtr held = b.columns[0];
+  InitBatch(schema, &b);
+  EXPECT_NE(b.columns[0].get(), a0);
+  // A shared (sliced) column must be replaced too.
+  b.columns[1]->Append(Datum(std::string("s")));
+  ColumnPtr view = ColumnVector::Slice(b.columns[1], 0, 1);
+  view.reset();  // even with no live view, the source stays frozen
+  const ColumnVector* b1 = b.columns[1].get();
+  InitBatch(schema, &b);
+  EXPECT_NE(b.columns[1].get(), b1);
+}
+
+// ---------------------------------------------------------------------------
+// Cached-result lifetime under eviction
+// ---------------------------------------------------------------------------
+
+class ViewRecyclerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TablePtr t = MakeTable(Schema(
+        {{"g", TypeId::kInt32}, {"v", TypeId::kDouble}}));
+    for (int64_t i = 0; i < 20000; ++i) {
+      t->AppendRow({static_cast<int32_t>(i % 5000),
+                    static_cast<double>(i % 97)});
+    }
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+  }
+
+  static PlanPtr Query() {
+    return PlanNode::Aggregate(PlanNode::Scan("t", {"g", "v"}), {"g"},
+                               {{AggFunc::kSum, Expr::Column("v"), "sv"}});
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ViewRecyclerTest, EvictionDuringScanKeepsResultAlive) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kHistory;
+  Recycler rec(&catalog_, cfg);
+
+  ExecResult baseline = rec.Execute(Query());  // records cost
+  rec.Execute(Query());                        // materializes
+  ASSERT_GE(rec.counters().materializations.load(), 1);
+
+  // Prepare a reusing query: the plan scans the cached table directly.
+  auto prepared = rec.Prepare(Query());
+  ASSERT_EQ(prepared->trace().num_reuses, 1);
+
+  Executor exec(&catalog_);
+  std::map<const PlanNode*, Operator*> node_ops;
+  OperatorPtr root =
+      exec.BuildOperator(prepared->plan(), &prepared->stores(), &node_ops);
+  root->Open();
+  TablePtr scanned = MakeTable(root->output_schema());
+  Batch batch;
+  ASSERT_TRUE(root->NextTimed(&batch));  // scan in flight (5000 rows total)
+  scanned->AppendBatch(batch);
+
+  // Evict the cached result mid-scan: shared ownership must keep the
+  // result alive until this scan drains.
+  rec.FlushCache();
+  ASSERT_EQ(rec.cache().num_entries(), 0);
+
+  while (root->NextTimed(&batch)) scanned->AppendBatch(batch);
+  root->Close();
+  EXPECT_EQ(testing::RowMultiset(*scanned),
+            testing::RowMultiset(*baseline.table));
+}
+
+TEST_F(ViewRecyclerTest, ConcurrentReuseAndEviction) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kHistory;
+  Recycler rec(&catalog_, cfg);
+  ExecResult baseline = rec.Execute(Query());
+  auto expected = testing::RowMultiset(*baseline.table);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> streams;
+  for (int s = 0; s < 2; ++s) {
+    streams.emplace_back([&] {
+      for (int i = 0; i < 25 && !failed.load(); ++i) {
+        ExecResult r = rec.Execute(Query());
+        if (testing::RowMultiset(*r.table) != expected) failed.store(true);
+      }
+    });
+  }
+  std::thread evictor([&] {
+    for (int i = 0; i < 50; ++i) {
+      rec.FlushCache();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : streams) t.join();
+  evictor.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(rec.counters().reuses.load(), 0);
+}
+
+}  // namespace
+}  // namespace recycledb
