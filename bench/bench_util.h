@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "recycler/recycler.h"
+#include "skyserver/skyserver.h"
 #include "tpch/dbgen.h"
 #include "tpch/qgen.h"
 #include "workload/driver.h"
@@ -22,6 +24,106 @@ inline int64_t EnvInt(const char* name, int64_t fallback) {
   return x > 0 ? x : fallback;
 }
 
+inline std::string EnvStr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || v[0] == '\0') ? fallback : std::string(v);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emission (machine-readable bench results for CI artifacts)
+// ---------------------------------------------------------------------------
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// One flat JSON object built from typed key/value pairs.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& v) {
+    fields_.push_back(StrFormat("\"%s\":\"%s\"", JsonEscape(key).c_str(),
+                                JsonEscape(v).c_str()));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonObject& Set(const std::string& key, double v) {
+    fields_.push_back(
+        StrFormat("\"%s\":%.6g", JsonEscape(key).c_str(), v));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, int64_t v) {
+    fields_.push_back(StrFormat("\"%s\":%lld", JsonEscape(key).c_str(),
+                                static_cast<long long>(v)));
+    return *this;
+  }
+  JsonObject& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+
+  std::string Str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fields_[i];
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// A JSON array of objects that benches append rows to. `WriteEnvPath`
+/// writes the array to the file named by RECYCLEDB_JSON_OUT (when set),
+/// which the CI bench-smoke step uploads as an artifact.
+class JsonResultSink {
+ public:
+  void Add(const JsonObject& obj) { rows_.push_back(obj.Str()); }
+
+  std::string Str() const {
+    std::string out = "[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",\n ";
+      out += rows_[i];
+    }
+    out += "]";
+    return out;
+  }
+
+  /// Writes to $RECYCLEDB_JSON_OUT; returns the path written, or "" when
+  /// the variable is unset / the file could not be opened.
+  std::string WriteEnvPath(const char* env_var = "RECYCLEDB_JSON_OUT") const {
+    const char* path = std::getenv(env_var);
+    if (path == nullptr || path[0] == '\0') return "";
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return "";
+    std::string s = Str();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
 /// Builds the TPC-H stream specs for `num_streams` streams. Seeded by
 /// stream id so every mode sees the identical workload.
 inline std::vector<workload::StreamSpec> MakeTpchStreams(int num_streams,
@@ -35,6 +137,27 @@ inline std::vector<workload::StreamSpec> MakeTpchStreams(int num_streams,
     for (const auto& q : tpch::GenerateStream(s, &rng, sf)) {
       spec.labels.push_back("Q" + std::to_string(q.query));
       spec.plans.push_back(tpch::BuildQuery(q.query, q.params, sf));
+    }
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
+/// Builds SkyServer stream specs: `num_streams` streams of
+/// `queries_per_stream` queries each, drawn from the synthetic 100-query
+/// log generator (dominant exact repeats + variants sharing the cone
+/// search). Seeded per stream so runs are reproducible.
+inline std::vector<workload::StreamSpec> MakeSkyStreams(
+    int num_streams, int queries_per_stream, uint64_t seed = 42) {
+  std::vector<workload::StreamSpec> streams;
+  streams.reserve(num_streams);
+  for (int s = 0; s < num_streams; ++s) {
+    Rng rng(seed + static_cast<uint64_t>(s) * 7919ULL);
+    workload::StreamSpec spec;
+    for (auto& q :
+         skyserver::GenerateWorkload(queries_per_stream, &rng)) {
+      spec.labels.push_back(q.dominant ? "sky-dom" : "sky-var");
+      spec.plans.push_back(std::move(q.plan));
     }
     streams.push_back(std::move(spec));
   }

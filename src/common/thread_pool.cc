@@ -10,26 +10,33 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return false;
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // Workers only exit once the queue has drained (see WorkerLoop), so
+  // joining here is the drain barrier.
+  for (auto& t : threads_) t.join();
+  threads_.clear();
 }
 
 void ThreadPool::WorkerLoop() {

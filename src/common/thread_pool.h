@@ -17,6 +17,12 @@ namespace recycledb {
 /// The workload driver submits one task per query stream and bounds the
 /// number of concurrently *executing* queries separately (the paper's
 /// "Vectorwise was set up to execute 12 queries in parallel").
+///
+/// Shutdown contract: `Shutdown()` (also run by the destructor) stops
+/// accepting new work, lets the workers DRAIN every task already queued,
+/// then joins them — queued work is never silently dropped. `Submit`
+/// after shutdown has begun is rejected (returns false). `Shutdown` is
+/// idempotent and `WaitIdle` may be called before, during, or after it.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -24,11 +30,17 @@ class ThreadPool {
 
   RDB_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. Returns false (and does not enqueue)
+  /// if Shutdown() has already begun.
+  bool Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until the queue is empty and no task is executing. Tasks
+  /// submitted concurrently with the call may or may not be covered; to
+  /// quiesce, the caller must stop its submitters first (or Shutdown()).
   void WaitIdle();
+
+  /// Drains all queued tasks, then joins the workers. Idempotent.
+  void Shutdown();
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 

@@ -29,6 +29,14 @@ struct SpeculationEstimate {
 
 /// Configuration attached to a plan node by the recycler's rewrite rules;
 /// the execution builder wraps the node's operator in a StoreOp.
+///
+/// Concurrency contract: the recycler claims the target graph node
+/// (kNone -> kInFlight) *before* execution starts, so exactly one stream
+/// runs the callbacks for a given node at a time. Other streams stall on
+/// (or reuse) the node's materialization; `on_complete` — including the
+/// abort path with a null result — MUST therefore always be invoked
+/// exactly once, even when a parent stops pulling early (see Close()),
+/// or stalled queries would wait out their full timeout.
 struct StoreRequest {
   StoreMode mode = StoreMode::kMaterialize;
   /// Opaque recycler-graph node handle, passed back on callbacks.

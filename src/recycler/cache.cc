@@ -63,7 +63,7 @@ bool RecyclerCache::PlanEviction(double benefit, int64_t size_bytes,
     for (const auto& e : all) {
       if (free_bytes + freed >= size_bytes) break;
       victims->push_back(e.node);
-      freed += e.node->cached_bytes;
+      freed += e.node->cached_bytes.load();
     }
     return free_bytes + freed >= size_bytes;
   }
@@ -81,7 +81,7 @@ bool RecyclerCache::PlanEviction(double benefit, int64_t size_bytes,
     for (const auto& e : all) {
       if (free_bytes + freed >= size_bytes) break;
       victims->push_back(e.node);
-      freed += e.node->cached_bytes;
+      freed += e.node->cached_bytes.load();
     }
     return free_bytes + freed >= size_bytes;
   }
@@ -108,7 +108,7 @@ bool RecyclerCache::PlanEviction(double benefit, int64_t size_bytes,
     victims->push_back(e.node);
     benefit_sum += b;
     ++count;
-    freed += e.node->cached_bytes;
+    freed += e.node->cached_bytes.load();
     // (b) victims together large enough.
     if (free_bytes + freed >= size_bytes) return true;
   }
@@ -122,25 +122,27 @@ bool RecyclerCache::WouldAdmit(double benefit, int64_t size_bytes) const {
 
 bool RecyclerCache::Admit(RGNode* node, double benefit,
                           std::vector<RGNode*>* evicted) {
-  RDB_CHECK(node->cached != nullptr && node->cached_bytes > 0);
+  const int64_t size = node->cached_bytes.load();
+  RDB_CHECK(size > 0);
   std::vector<RGNode*> victims;
-  if (!PlanEviction(benefit, node->cached_bytes, &victims)) return false;
+  if (!PlanEviction(benefit, size, &victims)) return false;
   for (RGNode* v : victims) {
     EvictOne(v);
     evicted->push_back(v);
   }
-  groups_[SizeGroup(node->cached_bytes)].push_back({node, ++lru_counter_});
-  used_bytes_ += node->cached_bytes;
+  groups_[SizeGroup(size)].push_back({node, ++lru_counter_});
+  used_bytes_ += size;
   return true;
 }
 
 void RecyclerCache::EvictOne(RGNode* node) {
-  auto git = groups_.find(SizeGroup(node->cached_bytes));
+  const int64_t size = node->cached_bytes.load();
+  auto git = groups_.find(SizeGroup(size));
   RDB_CHECK(git != groups_.end());
   auto& entries = git->second;
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     if (it->node == node) {
-      used_bytes_ -= node->cached_bytes;
+      used_bytes_ -= size;
       entries.erase(it);
       return;
     }
@@ -149,12 +151,13 @@ void RecyclerCache::EvictOne(RGNode* node) {
 }
 
 void RecyclerCache::Remove(RGNode* node) {
-  auto git = groups_.find(SizeGroup(node->cached_bytes));
+  const int64_t size = node->cached_bytes.load();
+  auto git = groups_.find(SizeGroup(size));
   if (git == groups_.end()) return;
   auto& entries = git->second;
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     if (it->node == node) {
-      used_bytes_ -= node->cached_bytes;
+      used_bytes_ -= size;
       entries.erase(it);
       return;
     }

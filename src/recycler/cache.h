@@ -22,7 +22,8 @@ namespace recycledb {
 enum class CachePolicy : uint8_t { kBenefit, kLru, kAdmitAll };
 
 /// The recycler cache. NOT thread-safe by itself: the owning Recycler
-/// serializes access under the graph's exclusive lock.
+/// serializes access under its dedicated cache mutex (decoupled from the
+/// graph lock; see DESIGN.md "Concurrency model" for the lock order).
 class RecyclerCache {
  public:
   /// `capacity_bytes` < 0 means unlimited.

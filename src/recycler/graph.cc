@@ -6,20 +6,27 @@
 namespace recycledb {
 
 double RecyclerGraph::AgedH(const RGNode* node) const {
-  if (aging_alpha_ >= 1.0) return node->h;
-  int64_t delta = epoch_.load() - node->h_epoch;
-  if (delta <= 0) return node->h;
-  return node->h * std::pow(aging_alpha_, static_cast<double>(delta));
+  double h = node->h.load(std::memory_order_relaxed);
+  if (aging_alpha_ >= 1.0) return h;
+  int64_t delta =
+      epoch_.load() - node->h_epoch.load(std::memory_order_relaxed);
+  if (delta <= 0) return h;
+  return h * std::pow(aging_alpha_, static_cast<double>(delta));
 }
 
 void RecyclerGraph::FoldAging(RGNode* node) {
-  if (aging_alpha_ < 1.0) {
-    int64_t now = epoch_.load();
-    int64_t delta = now - node->h_epoch;
-    if (delta > 0) {
-      node->h *= std::pow(aging_alpha_, static_cast<double>(delta));
+  if (aging_alpha_ >= 1.0) return;
+  int64_t now = epoch_.load();
+  int64_t stamp = node->h_epoch.load(std::memory_order_relaxed);
+  // Elect one folder per epoch advance via CAS on the stamp; losers see
+  // the refreshed stamp and stop.
+  while (stamp < now) {
+    if (node->h_epoch.compare_exchange_weak(stamp, now,
+                                            std::memory_order_relaxed)) {
+      AtomicScale(node->h,
+                  std::pow(aging_alpha_, static_cast<double>(now - stamp)));
+      return;
     }
-    node->h_epoch = now;
   }
 }
 
@@ -58,7 +65,7 @@ int64_t RecyclerGraph::Truncate(int64_t idle_epochs) {
   for (;;) {
     std::vector<RGNode*> victims;
     for (const auto& n : nodes_) {
-      if (n->last_access_epoch > cutoff) continue;
+      if (n->last_access_epoch.load() > cutoff) continue;
       if (n->mat_state.load() != MatState::kNone) continue;
       if (!n->parents.empty()) continue;
       victims.push_back(n.get());
@@ -103,9 +110,9 @@ GraphStats RecyclerGraph::Stats() const {
   s.num_nodes = static_cast<int64_t>(nodes_.size());
   for (const auto& n : nodes_) {
     if (n->children.empty()) ++s.num_leaves;
-    if (n->mat_state == MatState::kCached) {
+    if (n->mat_state.load() == MatState::kCached) {
       ++s.num_cached;
-      s.cached_bytes += n->cached_bytes;
+      s.cached_bytes += n->cached_bytes.load();
     }
   }
   return s;

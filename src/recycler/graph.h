@@ -2,6 +2,7 @@
 // optimized query plans (§II, §III-A/B of the paper).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -25,6 +26,25 @@ enum class MatState : uint8_t {
   kCached,    // result available in the recycler cache
 };
 
+/// Adds `delta` to an atomic double (C++17 has no fetch_add for doubles),
+/// clamping the result at `floor`.
+inline void AtomicAddClamped(std::atomic<double>& a, double delta,
+                             double floor) {
+  double old = a.load(std::memory_order_relaxed);
+  double next = std::max(floor, old + delta);
+  while (!a.compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+    next = std::max(floor, old + delta);
+  }
+}
+
+/// Multiplies an atomic double by `factor`.
+inline void AtomicScale(std::atomic<double>& a, double factor) {
+  double old = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(old, old * factor,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
 /// A node of the recycler graph: one relational operator with parameters,
 /// annotated with reference statistics and its cached result (if any).
 ///
@@ -32,6 +52,28 @@ enum class MatState : uint8_t {
 /// output_names) live in the *graph name space*: names newly assigned by
 /// the operator are suffixed "#<node id>" so different queries assigning
 /// the same alias never collide (the paper appends a query identifier).
+///
+/// Field guards (see the class comment below for the full discipline):
+///  - identity fields (id..base_tables, leaf_key) are immutable once the
+///    node is published under the exclusive graph lock; shared-lock
+///    readers may touch them freely.
+///  - `parents` and `subsumes` are structure: mutated only under the
+///    exclusive graph lock, read under at least the shared lock.
+///  - the statistics block is atomic: no lock is needed for individual
+///    reads/writes. Node *lifetime* is what callers must respect: a
+///    node pointer stays valid while holding the graph lock (any mode),
+///    or between Prepare and OnComplete of the query that matched it —
+///    TruncateGraph, the only node-freeing operation, requires that no
+///    query be in that window (see Recycler::TruncateGraph). Concurrent
+///    updates interleave per-field rather than per-record; the stats are
+///    heuristic inputs, so per-record atomicity is deliberately not
+///    provided.
+///  - `mat_state` transitions kNone->kInFlight by lone CAS (claiming a
+///    store); every other transition happens under the node's mat shard
+///    mutex and signals the shard condvar.
+///  - `cached` (the TablePtr itself) is read and written only under the
+///    node's mat shard mutex; `cached_bytes` is atomic so Stats() and the
+///    cache can read it without that mutex.
 struct RGNode {
   int64_t id = 0;
   OpType type = OpType::kScan;
@@ -65,37 +107,39 @@ struct RGNode {
   /// (most-specific only; transitive relationships follow the edges).
   std::vector<RGNode*> subsumes;
 
-  // --- statistics (guarded by the graph lock) -------------------------
+  // --- statistics (atomic; shared graph lock suffices) ----------------
   /// Measured cost to compute this result from base tables (Eq. 2 input).
-  double bcost_ms = 0;
-  bool has_bcost = false;
+  std::atomic<double> bcost_ms{0};
+  std::atomic<bool> has_bcost{false};
   /// Measured output cardinality (last run).
-  int64_t rows = -1;
+  std::atomic<int64_t> rows{-1};
   /// Estimated / measured result footprint in bytes.
-  double size_bytes = 0;
-  bool has_size = false;
+  std::atomic<double> size_bytes{0};
+  std::atomic<bool> has_size{false};
   /// Importance factor h_R (Eq. 3/4), stored unaged; age with h_epoch.
-  double h = 0;
-  int64_t h_epoch = 0;
+  std::atomic<double> h{0};
+  std::atomic<int64_t> h_epoch{0};
   /// Query id that inserted this node (to exclude self-references when
   /// bumping h, §III-C).
   int64_t inserted_by = -1;
   /// Total times a query exactly-matched this node (diagnostics).
-  int64_t match_count = 0;
+  std::atomic<int64_t> match_count{0};
   /// Epoch of the last match/insert touching this node (drives
   /// truncation: §II "removing subtrees that have not been accessed for
   /// some time").
-  int64_t last_access_epoch = 0;
+  std::atomic<int64_t> last_access_epoch{0};
   /// Leaf-index key (empty for non-leaves); needed to unregister on
   /// truncation.
   std::string leaf_key;
 
   // --- materialization state ------------------------------------------
-  /// Atomic because the speculation-abort path flips it to kNone without
-  /// the graph lock; transitions signal the graph's mat condvar.
+  /// kNone->kInFlight is claimed by bare CAS (losers skip their store);
+  /// all other transitions happen under the mat shard mutex and signal
+  /// the shard condvar so stalled queries wake.
   std::atomic<MatState> mat_state{MatState::kNone};
+  /// Guarded by the node's mat shard mutex.
   TablePtr cached;  // column names are graph-space output_names
-  int64_t cached_bytes = 0;
+  std::atomic<int64_t> cached_bytes{0};
 };
 
 /// Statistics snapshot of the graph (diagnostics & Fig. 10 bench).
@@ -108,13 +152,24 @@ struct GraphStats {
 
 /// The recycler graph container.
 ///
-/// Concurrency: matching runs under a shared lock; insertions take the
-/// exclusive lock and *re-validate* the match candidates before inserting
-/// (the paper's backwards validation at node granularity, collapsed into
-/// revalidate-under-exclusive-lock: if an exactly matching node appeared
-/// since the shared-lock match, the insert aborts and adopts it).
-/// Materialization state transitions use a separate mutex + condvar so
-/// queries can stall on in-flight results without holding the graph lock.
+/// Locking discipline (lock order: graph mutex -> Recycler cache mutex ->
+/// mat shard mutex; see DESIGN.md "Concurrency model"):
+///
+///  - `mutex()` (shared_mutex) guards the graph *structure*: the node
+///    list, leaf index, parent indexes, subsumption edges. Matching runs
+///    under the shared lock; insertion and truncation take the exclusive
+///    lock and *re-validate* the match candidates before inserting (the
+///    paper's backwards validation at node granularity, collapsed into
+///    revalidate-under-exclusive-lock: if an exactly matching node
+///    appeared since the shared-lock match, the insert aborts and adopts
+///    it). Per-node statistics are atomics, so statistic updates — h
+///    bumps, cost/size annotations — only need the shared lock; fully
+///    matched queries never serialize on the exclusive lock.
+///
+///  - Materialization state transitions use an array of shard mutexes +
+///    condvars (sharded by node id) so queries can stall on in-flight
+///    results without holding the graph lock and without funnelling every
+///    stall/wake through one global mutex.
 class RecyclerGraph {
  public:
   explicit RecyclerGraph(double aging_alpha = 1.0)
@@ -124,11 +179,18 @@ class RecyclerGraph {
   RecyclerGraph(const RecyclerGraph&) = delete;
   RecyclerGraph& operator=(const RecyclerGraph&) = delete;
 
-  /// Shared lock guarding structure + statistics.
+  /// Shared lock guarding graph structure (see class comment).
   std::shared_mutex& mutex() { return mu_; }
-  /// Mutex + condvar guarding MatState transitions.
-  std::mutex& mat_mutex() { return mat_mu_; }
-  std::condition_variable& mat_cv() { return mat_cv_; }
+
+  /// Mutex + condvar shard guarding MatState transitions and `cached` of
+  /// the given node. Sharded by node id to spread contention.
+  struct MatShard {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  MatShard& mat_shard(const RGNode* node) {
+    return mat_shards_[static_cast<uint64_t>(node->id) % kNumMatShards];
+  }
 
   /// Advances the aging epoch (call once per query invocation) and
   /// returns the new epoch.
@@ -136,12 +198,15 @@ class RecyclerGraph {
   int64_t epoch() const { return epoch_.load(); }
   double aging_alpha() const { return aging_alpha_; }
 
-  /// h of `node` aged to the current epoch (Eq. 5, lazy). Caller holds a
-  /// lock on mutex().
+  /// h of `node` aged to the current epoch (Eq. 5, lazy). Caller holds at
+  /// least the shared lock on mutex().
   double AgedH(const RGNode* node) const;
 
   /// Folds pending aging into node->h and stamps the epoch. Caller holds
-  /// the exclusive lock.
+  /// at least the shared lock; concurrent folds race benignly (the CAS on
+  /// h_epoch elects one folder per epoch advance; an h bump landing
+  /// between the election and the scale is scaled once too often — an
+  /// acceptable imprecision in a decay heuristic).
   void FoldAging(RGNode* node);
 
   /// Leaf candidates for a scan/function-scan keyed by fingerprintable
@@ -169,9 +234,10 @@ class RecyclerGraph {
   GraphStats Stats() const;
 
  private:
+  static constexpr uint64_t kNumMatShards = 16;
+
   mutable std::shared_mutex mu_;
-  std::mutex mat_mu_;
-  std::condition_variable mat_cv_;
+  MatShard mat_shards_[kNumMatShards];
 
   std::vector<std::unique_ptr<RGNode>> nodes_;
   /// Global leaf hash table (the paper's "global hash table for

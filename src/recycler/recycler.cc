@@ -125,19 +125,20 @@ double Recycler::TrueCost(const RGNode* node) const {
     const RGNode* n = stack.back();
     stack.pop_back();
     if (!visited.insert(n).second) continue;
-    if (n->mat_state == MatState::kCached) {
-      dmd_cost += n->bcost_ms;
+    if (n->mat_state.load() == MatState::kCached) {
+      dmd_cost += n->bcost_ms.load();
       continue;  // stop at the first materialized node on each path
     }
     for (const RGNode* c : n->children) stack.push_back(c);
   }
-  return std::max(0.0, node->bcost_ms - dmd_cost);
+  return std::max(0.0, node->bcost_ms.load() - dmd_cost);
 }
 
 double Recycler::EstimatedSize(const RGNode* node) const {
-  if (node->has_size) return node->size_bytes;
-  if (node->rows >= 0) {
-    return std::max(1.0, static_cast<double>(node->rows) *
+  if (node->has_size.load()) return node->size_bytes.load();
+  int64_t rows = node->rows.load();
+  if (rows >= 0) {
+    return std::max(1.0, static_cast<double>(rows) *
                              EstRowWidth(node->output_types));
   }
   return 1 << 20;  // unknown: assume 1MB
@@ -310,15 +311,18 @@ void Recycler::InsertMissing(MNode* m, int64_t query_id) {
 // ---------------------------------------------------------------------------
 
 void Recycler::BumpImportance(MNode* m, bool has_materialized_ancestor) {
+  // Runs under at least the shared graph lock: all statistic fields are
+  // atomic, so concurrent fully-matched queries bump h without ever
+  // taking the exclusive lock.
   RGNode* g = m->gnode;
-  g->last_access_epoch = graph_.epoch();
+  g->last_access_epoch.store(graph_.epoch());
   if (!m->inserted && !has_materialized_ancestor) {
     graph_.FoldAging(g);
-    g->h += 1;
-    ++g->match_count;
+    AtomicAddClamped(g->h, 1.0, 0.0);
+    g->match_count.fetch_add(1);
   }
   bool flag =
-      has_materialized_ancestor || g->mat_state == MatState::kCached;
+      has_materialized_ancestor || g->mat_state.load() == MatState::kCached;
   for (auto& c : m->children) BumpImportance(c.get(), flag);
 }
 
@@ -332,20 +336,20 @@ void Recycler::UpdateHrChildren(RGNode* node, double delta) {
     stack.pop_back();
     if (!visited.insert(n).second) continue;
     graph_.FoldAging(n);
-    n->h = std::max(0.0, n->h + delta);
-    if (n->mat_state == MatState::kCached) continue;
+    AtomicAddClamped(n->h, delta, 0.0);
+    if (n->mat_state.load() == MatState::kCached) continue;
     for (RGNode* c : n->children) stack.push_back(c);
   }
 }
 
 void Recycler::UpdateHrOnMaterialize(RGNode* node) {
   graph_.FoldAging(node);
-  UpdateHrChildren(node, -node->h);  // Eq. 3
+  UpdateHrChildren(node, -node->h.load());  // Eq. 3
 }
 
 void Recycler::UpdateHrOnEvict(RGNode* node) {
   graph_.FoldAging(node);
-  UpdateHrChildren(node, +node->h);  // Eq. 4
+  UpdateHrChildren(node, +node->h.load());  // Eq. 4
 }
 
 // ---------------------------------------------------------------------------
@@ -358,41 +362,41 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
 
   if (CacheableType(plan->type())) {
     // Exact reuse, stalling on an in-flight materialization first. The
-    // snapshot TablePtr taken under mat_mutex pins the result for this
-    // query: scans emit zero-copy views of its columns, and shared
-    // ownership (plan -> TablePtr -> ColumnPtr -> batch views) keeps the
-    // data alive even if the recycler evicts the entry mid-scan (see
-    // DESIGN.md, "Zero-copy views and result lifetime").
+    // snapshot TablePtr taken under the node's mat shard mutex pins the
+    // result for this query: scans emit zero-copy views of its columns,
+    // and shared ownership (plan -> TablePtr -> ColumnPtr -> batch views)
+    // keeps the data alive even if the recycler evicts the entry mid-scan
+    // (see DESIGN.md, "Zero-copy views and result lifetime").
+    //
+    // The wait is race-free: every transition out of kInFlight happens
+    // under the same shard mutex before the condvar is signalled, so the
+    // predicate cannot flip between its evaluation and the wait.
     TablePtr snapshot;
-    double replaced_bcost = 0;
     {
-      std::unique_lock<std::mutex> lock(graph_.mat_mutex());
-      if (g->mat_state == MatState::kInFlight) {
+      RecyclerGraph::MatShard& shard = graph_.mat_shard(g);
+      std::unique_lock<std::mutex> lock(shard.mu);
+      if (g->mat_state.load() == MatState::kInFlight) {
         ++prepared->trace_.num_stalls;
         counters_.stalls.fetch_add(1);
         Stopwatch sw;
-        graph_.mat_cv().wait_for(
+        shard.cv.wait_for(
             lock, std::chrono::milliseconds(config_.stall_timeout_ms),
-            [g] { return g->mat_state != MatState::kInFlight; });
+            [g] { return g->mat_state.load() != MatState::kInFlight; });
         prepared->trace_.stall_ms += sw.ElapsedMs();
       }
-      if (g->mat_state == MatState::kCached) {
+      if (g->mat_state.load() == MatState::kCached) {
         snapshot = g->cached;
       }
     }
     if (snapshot != nullptr) {
-      {
-        std::shared_lock<std::shared_mutex> glock(graph_.mutex());
-        replaced_bcost = g->bcost_ms;
-      }
       PlanPtr cs =
           PlanNode::CachedScan(snapshot, plan->output_schema().Names());
-      prepared->replaced_cost_[cs.get()] = replaced_bcost;
+      prepared->replaced_cost_[cs.get()] = g->bcost_ms.load();
       m->replaced = true;
       ++prepared->trace_.num_reuses;
       counters_.reuses.fetch_add(1);
       if (config_.cache_policy == CachePolicy::kLru) {
-        std::unique_lock<std::shared_mutex> glock(graph_.mutex());
+        std::lock_guard<std::mutex> clock(cache_mu_);
         cache_.TouchForLru(g);
       }
       return cs;
@@ -412,8 +416,9 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
           if (parent == g || !seen.insert(parent).second) continue;
           TablePtr cached;
           {
-            std::unique_lock<std::mutex> mlock(graph_.mat_mutex());
-            if (parent->mat_state != MatState::kCached) continue;
+            RecyclerGraph::MatShard& shard = graph_.mat_shard(parent);
+            std::lock_guard<std::mutex> mlock(shard.mu);
+            if (parent->mat_state.load() != MatState::kCached) continue;
             cached = parent->cached;
           }
           derived = TrySubsumption(*m->plan, m->children[0]->mapping, *parent,
@@ -426,14 +431,15 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       }
       if (derived.plan != nullptr) {
         {
+          // Exclusive: the subsumption edge list is graph structure.
           std::unique_lock<std::shared_mutex> glock(graph_.mutex());
           graph_.FoldAging(subsumer);
-          subsumer->h += 1;  // subsumption reference
+          AtomicAddClamped(subsumer->h, 1.0, 0.0);  // subsumption reference
           bool have_edge = false;
           for (RGNode* s : subsumer->subsumes) have_edge |= (s == g);
           if (!have_edge) subsumer->subsumes.push_back(g);
           prepared->replaced_cost_[derived.cached_scan.get()] =
-              subsumer->bcost_ms;
+              subsumer->bcost_ms.load();
         }
         m->replaced = true;
         ++prepared->trace_.num_reuses;
@@ -489,16 +495,20 @@ StoreRequest Recycler::MakeStoreRequest(RGNode* gnode, StoreMode mode,
 
 void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
                             bool in_store_chain) {
-  // Caller holds the exclusive graph lock.
+  // Caller holds the *shared* graph lock: the decision reads structure
+  // and atomic stats, consults the cache under cache_mu_, and claims the
+  // node by CAS — concurrent streams injecting stores for disjoint nodes
+  // proceed in parallel, and two streams racing for the same node are
+  // arbitrated by TryClaimInFlight (the loser executes without storing).
   if (m->replaced) return;  // subtree not executed
   RGNode* g = m->gnode;
   bool stored_here = false;
 
   if (CacheableType(m->plan->type()) && m->exec_plan != nullptr &&
-      g->mat_state == MatState::kNone &&
+      g->mat_state.load() == MatState::kNone &&
       prepared->stores_.count(m->exec_plan) == 0) {
     const bool is_root = m == prepared->matched_.get();
-    if (g->has_bcost) {
+    if (g->has_bcost.load()) {
       // History-based decision (§V HIST): the result has been computed
       // before, so cost and size are known; materialize when the benefit
       // metric admits it. Within a chain only the most beneficial node is
@@ -507,10 +517,14 @@ void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
       if (h >= 1.0 && !in_store_chain) {
         double benefit = BenefitOf(g);
         int64_t size = static_cast<int64_t>(EstimatedSize(g));
-        if (cache_.WouldAdmit(benefit, size)) {
+        bool would_admit;
+        {
+          std::lock_guard<std::mutex> clock(cache_mu_);
+          would_admit = cache_.WouldAdmit(benefit, size);
+        }
+        if (would_admit && TryClaimInFlight(g)) {
           prepared->stores_[m->exec_plan] =
               MakeStoreRequest(g, StoreMode::kMaterialize, prepared);
-          SetMatState(g, MatState::kInFlight);
           stored_here = true;
         }
       }
@@ -519,10 +533,10 @@ void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
       // Speculation (§III-D): never executed before; buffer and decide at
       // run time. Applied to expected expensive/small operators and to
       // the final result.
-      if (SpeculationTargetType(m->plan->type()) || is_root) {
+      if ((SpeculationTargetType(m->plan->type()) || is_root) &&
+          TryClaimInFlight(g)) {
         prepared->stores_[m->exec_plan] =
             MakeStoreRequest(g, StoreMode::kSpeculative, prepared);
-        SetMatState(g, MatState::kInFlight);
         stored_here = true;
       }
     }
@@ -545,57 +559,88 @@ void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
 // Store callbacks
 // ---------------------------------------------------------------------------
 
-void Recycler::SetMatState(RGNode* node, MatState state) {
+void Recycler::SetMatState(RGNode* node, MatState state, bool clear_cached) {
+  RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
   {
-    std::unique_lock<std::mutex> lock(graph_.mat_mutex());
-    node->mat_state = state;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (clear_cached) node->cached = nullptr;
+    node->mat_state.store(state);
   }
-  graph_.mat_cv().notify_all();
+  shard.cv.notify_all();
+}
+
+bool Recycler::TryClaimInFlight(RGNode* node) {
+  MatState expected = MatState::kNone;
+  return node->mat_state.compare_exchange_strong(expected,
+                                                 MatState::kInFlight);
 }
 
 bool Recycler::SpeculationKeepGoing(RGNode* node,
                                     const SpeculationEstimate& est) {
-  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
-  double h = graph_.AgedH(node);
+  double h;
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+    h = graph_.AgedH(node);
+  }
   if (h <= 0) h = config_.speculation_h;
   double size = std::max(1.0, est.est_size_bytes);
   double benefit = est.est_cost_ms * h / size;
+  std::lock_guard<std::mutex> clock(cache_mu_);
   return cache_.WouldAdmit(benefit, static_cast<int64_t>(size));
 }
 
 void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
                            PreparedQuery* prepared) {
-  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  // The shared graph lock pins the structure (TrueCost/UpdateHr walk
+  // children); all statistic writes are atomic, the cached TablePtr is
+  // published under the node's mat shard mutex, and admission runs under
+  // cache_mu_. Concurrent offers from other streams only serialize on the
+  // admission decision itself, never on matching.
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
   graph_.FoldAging(node);
-  node->rows = result->num_rows();
-  if (!node->has_bcost) {
-    node->bcost_ms = subtree_ms;
-    node->has_bcost = true;
+  node->rows.store(result->num_rows());
+  if (!node->has_bcost.load()) {
+    node->bcost_ms.store(subtree_ms);
+    node->has_bcost.store(true);
   }
   // Store the result under graph-space column names.
   TablePtr graph_table = result->RenameColumns(node->output_names);
-  node->cached = graph_table;
-  node->cached_bytes = std::max<int64_t>(1, graph_table->ByteSize());
-  node->size_bytes = static_cast<double>(node->cached_bytes);
-  node->has_size = true;
+  const int64_t bytes = std::max<int64_t>(1, graph_table->ByteSize());
+  {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    node->cached = std::move(graph_table);
+  }
+  node->cached_bytes.store(bytes);
+  node->size_bytes.store(static_cast<double>(bytes));
+  node->has_size.store(true);
 
   double benefit = BenefitOf(node);
   std::vector<RGNode*> evicted;
-  bool admitted = cache_.Admit(node, benefit, &evicted);
-  for (RGNode* v : evicted) {
-    UpdateHrOnEvict(v);
-    v->cached = nullptr;
-    SetMatState(v, MatState::kNone);
-    counters_.evictions.fetch_add(1);
+  bool admitted;
+  {
+    // One cache_mu_ critical section covers the admission decision, the
+    // victims' transitions, and this node's kCached publication: a
+    // concurrent Admit can therefore never evict this node between its
+    // admission and its state flip, and every node a replacement decision
+    // sees is in a settled state.
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    admitted = cache_.Admit(node, benefit, &evicted);
+    for (RGNode* v : evicted) {
+      UpdateHrOnEvict(v);
+      SetMatState(v, MatState::kNone, /*clear_cached=*/true);
+      counters_.evictions.fetch_add(1);
+    }
+    if (admitted) {
+      SetMatState(node, MatState::kCached);
+    } else {
+      SetMatState(node, MatState::kNone, /*clear_cached=*/true);
+    }
   }
   if (admitted) {
-    SetMatState(node, MatState::kCached);
     UpdateHrOnMaterialize(node);
     counters_.materializations.fetch_add(1);
     ++prepared->trace_.num_materialized;
-  } else {
-    node->cached = nullptr;
-    SetMatState(node, MatState::kNone);
   }
 }
 
@@ -604,21 +649,26 @@ void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
 // ---------------------------------------------------------------------------
 
 void Recycler::EvictNode(RGNode* node, bool update_h) {
-  // Caller holds the exclusive graph lock. Dropping node->cached only
-  // releases the graph's reference: concurrent streams that already took a
-  // snapshot keep the table (and any column views into it) alive until
+  // Caller holds at least the shared graph lock and cache_mu_. Dropping
+  // node->cached (inside SetMatState's shard critical section) only
+  // releases the graph's reference: concurrent streams that already took
+  // a snapshot keep the table (and any column views into it) alive until
   // their scans drain.
   cache_.Remove(node);
   if (update_h) UpdateHrOnEvict(node);
-  node->cached = nullptr;
-  SetMatState(node, MatState::kNone);
+  SetMatState(node, MatState::kNone, /*clear_cached=*/true);
   counters_.evictions.fetch_add(1);
 }
 
 void Recycler::InvalidateTable(const std::string& table) {
-  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  // Shared lock: the node list is only iterated, never changed; evictions
+  // happen under cache_mu_ + the shard mutexes, so concurrent streams can
+  // keep matching (and draining snapshots they already hold) while an
+  // update commit sweeps the cache.
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+  std::lock_guard<std::mutex> clock(cache_mu_);
   for (const auto& n : graph_.nodes()) {
-    if (n->mat_state == MatState::kCached &&
+    if (n->mat_state.load() == MatState::kCached &&
         n->base_tables.count(table) > 0) {
       EvictNode(n.get(), /*update_h=*/true);
       counters_.invalidations.fetch_add(1);
@@ -632,13 +682,13 @@ int64_t Recycler::TruncateGraph(int64_t idle_epochs) {
 }
 
 void Recycler::FlushCache() {
-  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+  std::lock_guard<std::mutex> clock(cache_mu_);
   std::vector<RGNode*> evicted;
   cache_.Flush(&evicted);
   for (RGNode* n : evicted) {
     UpdateHrOnEvict(n);
-    n->cached = nullptr;
-    SetMatState(n, MatState::kNone);
+    SetMatState(n, MatState::kNone, /*clear_cached=*/true);
     counters_.evictions.fetch_add(1);
   }
 }
@@ -698,7 +748,7 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
           for (auto& c : m->children) stack.push_back(c.get());
         }
         if (gate_gnode != nullptr) {
-          gate_go = gate_gnode->mat_state == MatState::kCached ||
+          gate_go = gate_gnode->mat_state.load() == MatState::kCached ||
                     graph_.AgedH(gate_gnode) >= 1.0;
         }
       }
@@ -714,9 +764,18 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
   // --- matching + insertion (§III-A/B) --------------------------------
   if (matched == nullptr) {
     matched = MatchTree(plan);  // phase 1, shared lock
-    std::unique_lock<std::shared_mutex> lock(graph_.mutex());
-    InsertMissing(matched.get(), prepared->query_id_);  // phase 2 + OCC
-    BumpImportance(matched.get(), false);               // §III-C
+    if (matched->gnode != nullptr) {
+      // Fully matched (a node only matches once all its children have):
+      // the hot steady-state path. Statistics are atomic, so the h bumps
+      // run under the shared lock and concurrent streams never serialize
+      // on the exclusive lock.
+      std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+      BumpImportance(matched.get(), false);  // §III-C
+    } else {
+      std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+      InsertMissing(matched.get(), prepared->query_id_);  // phase 2 + OCC
+      BumpImportance(matched.get(), false);               // §III-C
+    }
   }
   prepared->trace_.match_ms = match_sw.ElapsedMs();
   prepared->trace_.graph_nodes_at_match = graph_.Stats().num_nodes;
@@ -729,7 +788,7 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
 
   // --- store injection --------------------------------------------------
   {
-    std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+    std::shared_lock<std::shared_mutex> lock(graph_.mutex());
     InjectStores(prepared->matched_.get(), prepared.get(), false);
   }
 
@@ -741,7 +800,9 @@ void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
   counters_.queries.fetch_add(1);
   if (config_.mode == RecyclerMode::kOff) return;
 
-  std::unique_lock<std::shared_mutex> lock(graph_.mutex());
+  // Annotation writes are atomic per-field; the shared lock only pins the
+  // nodes so completion never serializes behind other streams' matching.
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
 
   // bcost must always reflect cost-from-base-tables (Eq. 2): add back the
   // base cost of every subtree a CachedScan replaced.
@@ -764,13 +825,13 @@ void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
     if (it == result.node_runtime.end()) continue;
     const NodeRuntime& rt = it->second;
     double bcost = rt.inclusive_ms + walker.ReplacedBelow(node);
-    gnode->bcost_ms = bcost;  // refresh with the current system load
-    gnode->has_bcost = true;
-    gnode->rows = rt.rows_out;
-    if (!gnode->has_size) {
-      gnode->size_bytes = std::max(
+    gnode->bcost_ms.store(bcost);  // refresh with the current system load
+    gnode->has_bcost.store(true);
+    gnode->rows.store(rt.rows_out);
+    if (!gnode->has_size.load()) {
+      gnode->size_bytes.store(std::max(
           1.0, static_cast<double>(rt.rows_out) *
-                   EstRowWidth(gnode->output_types));
+                   EstRowWidth(gnode->output_types)));
     }
   }
 }

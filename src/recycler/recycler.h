@@ -113,7 +113,11 @@ class PreparedQuery {
 /// The recycler facade.
 ///
 /// Thread-safe: Prepare/OnComplete/Execute may be called from concurrent
-/// query streams. See graph.h for the locking discipline.
+/// query streams. Lock order (never acquired in reverse): graph mutex
+/// (shared for matching/stats, exclusive for structure changes) ->
+/// cache mutex -> mat shard mutex. A query whose plan fully matches the
+/// graph never takes the exclusive lock. See graph.h and DESIGN.md
+/// ("Concurrency model") for the full discipline.
 class Recycler {
  public:
   Recycler(const Catalog* catalog, RecyclerConfig config);
@@ -187,17 +191,31 @@ class Recycler {
   void OfferResult(RGNode* node, TablePtr result, double subtree_ms,
                    PreparedQuery* prepared);
   bool SpeculationKeepGoing(RGNode* node, const SpeculationEstimate& est);
-  void SetMatState(RGNode* node, MatState state);
+  /// Publishes a MatState transition under the node's mat shard mutex and
+  /// wakes stalled queries. `clear_cached` also drops the node's cached
+  /// TablePtr inside the same critical section (eviction).
+  void SetMatState(RGNode* node, MatState state, bool clear_cached = false);
+  /// Claims the kNone -> kInFlight transition by CAS; the loser of a race
+  /// simply skips its store. No wakeup needed: queries only stall on the
+  /// transitions *out* of kInFlight, which SetMatState publishes.
+  static bool TryClaimInFlight(RGNode* node);
 
   /// Estimated result size in bytes (measured when available, else
   /// cardinality x estimated row width; §III-C "size(R)").
   double EstimatedSize(const RGNode* node) const;
 
+  /// Caller holds at least the shared graph lock AND cache_mu_.
   void EvictNode(RGNode* node, bool update_h);
 
   const Catalog* catalog_;
   RecyclerConfig config_;
   RecyclerGraph graph_;
+  /// Guards cache_ (admission, eviction planning, LRU touches) and makes
+  /// admit-then-publish atomic with respect to concurrent evictions.
+  /// Decoupled from the graph mutex so reuse lookups and stat updates on
+  /// other streams never serialize behind replacement decisions.
+  /// Lock order: graph mutex -> cache_mu_ -> mat shard mutex.
+  mutable std::mutex cache_mu_;
   RecyclerCache cache_;
   Executor executor_;
   RecyclerCounters counters_;

@@ -10,7 +10,6 @@ namespace {
 
 // Shorthand builders.
 ExprPtr C(const std::string& n) { return Expr::Column(n); }
-ExprPtr L(Datum d) { return Expr::Literal(std::move(d)); }
 ExprPtr Li(int64_t v) { return Expr::Literal(v); }
 ExprPtr Ld(double v) { return Expr::Literal(v); }
 ExprPtr Ls(const char* s) { return Expr::Literal(std::string(s)); }

@@ -1,6 +1,8 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <cmath>
+#include <condition_variable>
 #include <mutex>
 
 #include "common/stopwatch.h"
@@ -9,6 +11,36 @@
 
 namespace recycledb {
 namespace workload {
+
+namespace {
+
+/// Counting semaphore bounding concurrently executing queries (C++17 has
+/// no std::counting_semaphore).
+class ExecutionGate {
+ public:
+  explicit ExecutionGate(int slots) : slots_(slots) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return slots_ > 0; });
+    --slots_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++slots_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int slots_;
+};
+
+}  // namespace
 
 double RunReport::AvgStreamMs() const {
   if (stream_ms.empty()) return 0;
@@ -23,31 +55,85 @@ double RunReport::TotalQueryMs() const {
   return sum;
 }
 
-RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
-                     int max_concurrent) {
+double RunReport::QueriesPerSec() const {
+  if (wall_ms <= 0) return 0;
+  return static_cast<double>(records.size()) * 1000.0 / wall_ms;
+}
+
+double RunReport::LatencyPercentileMs(double p) const {
+  if (records.empty()) return 0;
+  std::vector<double> lat;
+  lat.reserve(records.size());
+  for (const auto& r : records) lat.push_back(r.end_ms - r.start_ms);
+  std::sort(lat.begin(), lat.end());
+  p = std::min(100.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(lat.size())));
+  if (rank == 0) rank = 1;
+  return lat[rank - 1];
+}
+
+int64_t RunReport::TotalReuses() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_reuses;
+  return n;
+}
+
+int64_t RunReport::TotalStalls() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_stalls;
+  return n;
+}
+
+int64_t RunReport::TotalMaterializations() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_materialized;
+  return n;
+}
+
+double RunReport::ReuseRate() const {
+  if (records.empty()) return 0;
+  int64_t reusing = 0;
+  for (const auto& r : records) {
+    if (r.trace.num_reuses > 0) ++reusing;
+  }
+  return static_cast<double>(reusing) / static_cast<double>(records.size());
+}
+
+WorkloadDriver::WorkloadDriver(Recycler* recycler, DriverOptions options)
+    : recycler_(recycler), options_(options) {}
+
+RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
   RunReport report;
   report.stream_ms.assign(streams.size(), 0.0);
+  report.stream_stats.assign(streams.size(), StreamStats{});
   std::mutex report_mu;
 
-  const int num_threads =
-      std::max(1, std::min<int>(max_concurrent,
-                                static_cast<int>(streams.size())));
+  const int max_concurrent = std::max(1, options_.max_concurrent);
+  int threads = options_.threads > 0
+                    ? options_.threads
+                    : std::min<int>(max_concurrent,
+                                    static_cast<int>(streams.size()));
+  threads = std::max(1, threads);
+  ExecutionGate gate(max_concurrent);
+
   Stopwatch run_sw;
   {
-    ThreadPool pool(num_threads);
+    ThreadPool pool(threads);
     for (size_t s = 0; s < streams.size(); ++s) {
       pool.Submit([&, s] {
         const StreamSpec& spec = streams[s];
-        Stopwatch stream_sw;
         double stream_start = run_sw.ElapsedMs();
         for (size_t q = 0; q < spec.plans.size(); ++q) {
           QueryRecord rec;
           rec.stream = static_cast<int>(s);
           rec.index = static_cast<int>(q);
           rec.label = spec.labels[q];
+          gate.Acquire();
           rec.start_ms = run_sw.ElapsedMs();
-          ExecResult result = recycler->Execute(spec.plans[q], &rec.trace);
+          ExecResult result = recycler_->Execute(spec.plans[q], &rec.trace);
           rec.end_ms = run_sw.ElapsedMs();
+          gate.Release();
           rec.result_rows = result.table->num_rows();
           std::lock_guard<std::mutex> lock(report_mu);
           report.records.push_back(std::move(rec));
@@ -64,12 +150,30 @@ RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
     LabelStats& ls = report.by_label[r.label];
     ++ls.count;
     ls.total_ms += r.end_ms - r.start_ms;
+    StreamStats& ss = report.stream_stats[r.stream];
+    ++ss.queries;
+    ss.total_ms += r.end_ms - r.start_ms;
+    ss.reuses += r.trace.num_reuses;
+    ss.subsumption_reuses += r.trace.num_subsumption_reuses;
+    ss.materializations += r.trace.num_materialized;
+    ss.stalls += r.trace.num_stalls;
+  }
+  for (size_t s = 0; s < streams.size(); ++s) {
+    report.stream_stats[s].span_ms = report.stream_ms[s];
   }
   std::sort(report.records.begin(), report.records.end(),
             [](const QueryRecord& a, const QueryRecord& b) {
               return a.start_ms < b.start_ms;
             });
   return report;
+}
+
+RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
+                     int max_concurrent) {
+  DriverOptions options;
+  options.max_concurrent = max_concurrent;
+  WorkloadDriver driver(recycler, options);
+  return driver.Run(std::move(streams));
 }
 
 std::string FormatTrace(const RunReport& report) {
@@ -99,6 +203,26 @@ std::string FormatTrace(const RunReport& report) {
                      r.stream + 1, r.label.c_str(), r.end_ms - r.start_ms,
                      events.c_str());
   }
+  return out;
+}
+
+std::string FormatSummary(const RunReport& report) {
+  std::string out;
+  out += StrFormat(
+      "queries=%lld wall=%.1fms qps=%.2f avg=%.2fms p50=%.2fms p95=%.2fms "
+      "p99=%.2fms\n",
+      static_cast<long long>(report.TotalQueries()), report.wall_ms,
+      report.QueriesPerSec(),
+      report.TotalQueries() == 0
+          ? 0.0
+          : report.TotalQueryMs() / static_cast<double>(report.TotalQueries()),
+      report.LatencyPercentileMs(50), report.LatencyPercentileMs(95),
+      report.LatencyPercentileMs(99));
+  out += StrFormat(
+      "reuse_rate=%.1f%% reuses=%lld materializations=%lld stalls=%lld\n",
+      100.0 * report.ReuseRate(), static_cast<long long>(report.TotalReuses()),
+      static_cast<long long>(report.TotalMaterializations()),
+      static_cast<long long>(report.TotalStalls()));
   return out;
 }
 

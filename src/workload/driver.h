@@ -1,4 +1,10 @@
-// Multi-stream throughput driver (§V TPC-H evaluation harness).
+// Multi-stream workload harness (§V TPC-H / SkyServer evaluation).
+//
+// `WorkloadDriver` runs N query streams against one shared Recycler with
+// a bound on concurrently *executing* queries (the paper's "Vectorwise
+// was set up to execute 12 queries in parallel"), records one traced
+// QueryRecord per query, and aggregates throughput / latency / reuse
+// statistics per stream, per label, and for the whole run.
 #pragma once
 
 #include <map>
@@ -35,28 +41,86 @@ struct LabelStats {
   double AvgMs() const { return count == 0 ? 0 : total_ms / count; }
 };
 
+/// Per-stream aggregate (derived from the records).
+struct StreamStats {
+  int64_t queries = 0;
+  double total_ms = 0;  // sum of query durations
+  double span_ms = 0;   // first query issued -> last result
+  int64_t reuses = 0;
+  int64_t subsumption_reuses = 0;
+  int64_t materializations = 0;
+  int64_t stalls = 0;
+};
+
 /// Result of a throughput run.
 struct RunReport {
   double wall_ms = 0;
   /// Per-stream time from its first query issued to its last result
   /// (the paper's stream evaluation time).
   std::vector<double> stream_ms;
+  std::vector<StreamStats> stream_stats;
   std::vector<QueryRecord> records;
   std::map<std::string, LabelStats> by_label;
 
   double AvgStreamMs() const;
   double TotalQueryMs() const;
+
+  // --- aggregate throughput / latency / reuse --------------------------
+  /// Completed queries per second of wall time.
+  double QueriesPerSec() const;
+  /// Nearest-rank latency percentile over all query durations, p in
+  /// (0, 100].
+  double LatencyPercentileMs(double p) const;
+  int64_t TotalQueries() const { return static_cast<int64_t>(records.size()); }
+  int64_t TotalReuses() const;
+  int64_t TotalStalls() const;
+  int64_t TotalMaterializations() const;
+  /// Fraction of queries that consumed at least one cached result.
+  double ReuseRate() const;
 };
 
-/// Runs `streams` against `recycler` with at most `max_concurrent`
-/// simultaneously executing queries (the paper caps Vectorwise at 12).
-/// Streams beyond the cap queue, as in the paper's setup.
+/// Driver configuration.
+struct DriverOptions {
+  /// Upper bound on simultaneously executing queries. Streams beyond the
+  /// bound queue, as in the paper's setup.
+  int max_concurrent = 12;
+  /// Server threads running stream tasks; 0 = min(max_concurrent,
+  /// #streams). When larger than max_concurrent, the admission gate (not
+  /// the thread count) enforces the execution bound.
+  int threads = 0;
+};
+
+/// The multi-stream harness. One instance may be reused for several runs
+/// (each Run builds its own thread pool so a report is always complete
+/// when it returns).
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Recycler* recycler, DriverOptions options = {});
+
+  /// Executes all streams to completion and returns the aggregated
+  /// report. Safe to call repeatedly; the recycler keeps its state across
+  /// runs (warm cache), so callers wanting cold numbers use a fresh
+  /// Recycler.
+  RunReport Run(std::vector<StreamSpec> streams);
+
+  const DriverOptions& options() const { return options_; }
+
+ private:
+  Recycler* recycler_;
+  DriverOptions options_;
+};
+
+/// Convenience wrapper: one-shot run with the given execution bound.
 RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
                      int max_concurrent = 12);
 
 /// Formats a Fig. 9-style trace of `report` (who materialized / reused /
 /// stalled, per stream and query).
 std::string FormatTrace(const RunReport& report);
+
+/// Formats the aggregate section (throughput, latency percentiles, reuse
+/// rates) as a human-readable summary block.
+std::string FormatSummary(const RunReport& report);
 
 }  // namespace workload
 }  // namespace recycledb

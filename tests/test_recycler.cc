@@ -204,7 +204,9 @@ TEST_F(RecyclerTest, ConcurrentIdenticalQueriesAgree) {
 
   constexpr int kThreads = 8;
   std::vector<std::thread> threads;
-  std::vector<bool> ok(kThreads, false);
+  // Not vector<bool>: adjacent elements share a byte, which is a real
+  // data race under concurrent writers (and a TSan finding).
+  std::vector<char> ok(kThreads, 0);
   for (int i = 0; i < kThreads; ++i) {
     threads.emplace_back([&, i] {
       ExecResult r = rec.Execute(AggPlan(10));

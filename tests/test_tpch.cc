@@ -17,8 +17,13 @@ constexpr double kTestSf = 0.005;
 class TpchTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog();
-    tpch::Generate(kTestSf, catalog_);
+    // Runs once per test suite, and TpchModeEquivalence inherits this
+    // fixture: guard so the derived suite reuses (rather than leaks) the
+    // database generated for the base suite.
+    if (catalog_ == nullptr) {
+      catalog_ = new Catalog();
+      tpch::Generate(kTestSf, catalog_);
+    }
   }
   static Catalog* catalog_;
 };
