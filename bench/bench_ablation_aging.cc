@@ -43,11 +43,9 @@ int main() {
   // Measure one result's footprint to size the cache at ~2 results.
   int64_t one_result;
   {
-    RecyclerConfig cfg;
-    cfg.mode = RecyclerMode::kSpeculation;
-    Recycler probe(&catalog, cfg);
-    probe.Execute(FamilyQuery(true, 0));
-    one_result = probe.graph().Stats().cached_bytes;
+    auto probe = MakeDatabase(catalog, RecyclerMode::kSpeculation);
+    probe->Execute(FamilyQuery(true, 0));
+    one_result = probe->graph_stats().cached_bytes;
   }
 
   PrintHeader("Ablation A: aging alpha under a workload phase shift");
@@ -61,25 +59,25 @@ int main() {
     cfg.mode = RecyclerMode::kSpeculation;
     cfg.aging_alpha = alpha;
     cfg.cache_bytes = one_result * 2 + 4096;
-    Recycler rec(&catalog, cfg);
+    auto db = MakeDatabase(catalog, cfg);
     Rng phase_rng(1);
     Stopwatch sw;
     // Phase 1: hammer two X parameters -> their h climbs to ~30 each.
     for (int i = 0; i < 60; ++i) {
-      rec.Execute(FamilyQuery(true, phase_rng.Uniform(0, 1)));
+      db->Execute(FamilyQuery(true, phase_rng.Uniform(0, 1)));
     }
     double phase1 = sw.ElapsedMs();
-    int64_t reuses_p1 = rec.counters().reuses.load();
-    int64_t mats_p1 = rec.counters().materializations.load();
+    int64_t reuses_p1 = db->counters().reuses.load();
+    int64_t mats_p1 = db->counters().materializations.load();
     // Phase 2: switch to two Y parameters.
     sw.Restart();
     for (int i = 0; i < 60; ++i) {
-      rec.Execute(FamilyQuery(false, phase_rng.Uniform(0, 1)));
+      db->Execute(FamilyQuery(false, phase_rng.Uniform(0, 1)));
     }
     double phase2 = sw.ElapsedMs();
     std::printf("%8.2f %12.1f %12.1f %14lld %14lld\n", alpha, phase1, phase2,
-                (long long)(rec.counters().reuses.load() - reuses_p1),
-                (long long)(rec.counters().materializations.load() - mats_p1));
+                (long long)(db->counters().reuses.load() - reuses_p1),
+                (long long)(db->counters().materializations.load() - mats_p1));
     std::fflush(stdout);
   }
   std::printf("\nExpected: with alpha < 1 the stale phase-1 results age out,"

@@ -20,16 +20,16 @@ int main() {
   const int64_t budgets[] = {64 << 10, 1 << 20, 4 << 20, 16 << 20,
                              64 << 20, -1};
   for (int64_t budget : budgets) {
-    Recycler rec = MakeRecycler(&catalog, RecyclerMode::kSpeculation, budget);
-    auto specs = MakeTpchStreams(streams, sf);
+    auto db = MakeDatabase(catalog, RecyclerMode::kSpeculation, budget);
+    auto specs = tpch::MakeStreams(streams, sf);
     workload::RunReport report =
-        workload::RunStreams(&rec, std::move(specs), 12);
+        workload::RunStreams(db.get(), std::move(specs), 12);
     std::string name = budget < 0 ? "unlimited"
                                   : std::to_string(budget >> 10) + "KB";
     std::printf("%12s %14.1f %10lld %10lld %12lld\n", name.c_str(),
-                report.AvgStreamMs(), (long long)rec.counters().reuses.load(),
-                (long long)rec.counters().evictions.load(),
-                (long long)(rec.graph().Stats().cached_bytes >> 10));
+                report.AvgStreamMs(), (long long)db->counters().reuses.load(),
+                (long long)db->counters().evictions.load(),
+                (long long)(db->graph_stats().cached_bytes >> 10));
     std::fflush(stdout);
   }
   std::printf("\nExpected: throughput improves with budget and saturates "

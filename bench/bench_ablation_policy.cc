@@ -30,13 +30,13 @@ int main() {
     cfg.mode = RecyclerMode::kSpeculation;
     cfg.cache_bytes = 1 << 20;
     cfg.cache_policy = c.policy;
-    Recycler rec(&catalog, cfg);
-    auto specs = MakeTpchStreams(streams, sf);
+    auto db = MakeDatabase(catalog, cfg);
+    auto specs = tpch::MakeStreams(streams, sf);
     workload::RunReport report =
-        workload::RunStreams(&rec, std::move(specs), 12);
+        workload::RunStreams(db.get(), std::move(specs), 12);
     std::printf("%12s %14.1f %10lld %10lld\n", c.name, report.AvgStreamMs(),
-                (long long)rec.counters().reuses.load(),
-                (long long)rec.counters().evictions.load());
+                (long long)db->counters().reuses.load(),
+                (long long)db->counters().evictions.load());
     std::fflush(stdout);
   }
   return 0;

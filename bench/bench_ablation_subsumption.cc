@@ -56,22 +56,22 @@ int main() {
     RecyclerConfig cfg;
     cfg.mode = RecyclerMode::kSpeculation;
     cfg.enable_subsumption = enabled;
-    Recycler rec(&catalog, cfg);
+    auto db = MakeDatabase(catalog, cfg);
     Rng wl(7);
     Stopwatch sw;
     // Seed: one big top-N, the broad selection, the fine cube.
-    rec.Execute(PageQuery(1000));
-    rec.Execute(PlanNode::Select(
+    db->Execute(PageQuery(1000));
+    db->Execute(PlanNode::Select(
         PlanNode::Scan("f", {"a", "b", "v"}),
         Expr::Gt(Expr::Column("v"), Expr::Literal(9000.0))));
-    rec.Execute(RollupQuery(false));
+    db->Execute(RollupQuery(false));
     // Then 60 queries all derivable from those three.
-    for (int i = 0; i < 20; ++i) rec.Execute(PageQuery(wl.Uniform(10, 500)));
-    for (int i = 0; i < 20; ++i) rec.Execute(RefineQuery(wl.Uniform(0, 14)));
-    for (int i = 0; i < 20; ++i) rec.Execute(RollupQuery(true));
+    for (int i = 0; i < 20; ++i) db->Execute(PageQuery(wl.Uniform(10, 500)));
+    for (int i = 0; i < 20; ++i) db->Execute(RefineQuery(wl.Uniform(0, 14)));
+    for (int i = 0; i < 20; ++i) db->Execute(RollupQuery(true));
     std::printf("%6s %12.1f %10lld %16lld\n", enabled ? "on" : "off",
-                sw.ElapsedMs(), (long long)rec.counters().reuses.load(),
-                (long long)rec.counters().subsumption_reuses.load());
+                sw.ElapsedMs(), (long long)db->counters().reuses.load(),
+                (long long)db->counters().subsumption_reuses.load());
     std::fflush(stdout);
   }
   std::printf("\nExpected: subsumption converts the derivable queries into "

@@ -52,13 +52,13 @@ int main() {
   for (RecyclerMode mode : modes) {
     for (int streams : {1, 2, 4, 8, 16}) {
       if (streams > max_streams) continue;
-      Recycler rec = MakeRecycler(&catalog, mode);
+      auto db = MakeDatabase(catalog, mode);
       workload::DriverOptions options;
       options.max_concurrent = streams;  // execution bound scales along
-      workload::WorkloadDriver driver(&rec, options);
+      workload::WorkloadDriver driver(&db->recycler(), options);
       workload::RunReport report = driver.Run(
-          workload == "sky" ? MakeSkyStreams(streams, sky_queries)
-                            : MakeTpchStreams(streams, sf));
+          workload == "sky" ? skyserver::MakeStreams(streams, sky_queries)
+                            : tpch::MakeStreams(streams, sf));
 
       double qps = report.QueriesPerSec();
       double avg_ms =
@@ -91,7 +91,7 @@ int main() {
                    .Set("reuses", report.TotalReuses())
                    .Set("subsumption_reuses",
                         static_cast<int64_t>(
-                            rec.counters().subsumption_reuses.load()))
+                            db->counters().subsumption_reuses.load()))
                    .Set("materializations", report.TotalMaterializations())
                    .Set("stalls", report.TotalStalls()));
 

@@ -12,9 +12,7 @@
 // the pipelined recycler wins with the bounded cache (it selects what to
 // keep); the pipelined recycler's footprint is orders of magnitude
 // smaller (a few hundred KB vs ~1.5GB in the paper).
-#include "baseline/keepall.h"
 #include "bench_util.h"
-#include "skyserver/skyserver.h"
 
 using namespace recycledb;
 using namespace recycledb::bench;
@@ -43,20 +41,20 @@ double RunKeepAll(const Catalog* catalog, const Workload& w,
   return sw.ElapsedMs();
 }
 
-double RunRecycler(const Catalog* catalog, const Workload& w,
+double RunRecycler(const Catalog& catalog, const Workload& w,
                    int64_t cache_bytes, RecyclerMode mode,
                    int64_t* peak_bytes = nullptr) {
   RecyclerConfig cfg;
   cfg.mode = mode;
   cfg.cache_bytes = cache_bytes;
-  Recycler rec(catalog, cfg);
+  auto db = MakeDatabase(catalog, cfg);
   Stopwatch sw;
   int per_batch = static_cast<int>(w.queries.size()) / w.num_batches;
   int64_t peak = 0;
   for (size_t i = 0; i < w.queries.size(); ++i) {
-    if (i > 0 && i % per_batch == 0) rec.FlushCache();
-    rec.Execute(w.queries[i].plan);
-    peak = std::max(peak, rec.graph().Stats().cached_bytes);
+    if (i > 0 && i % per_batch == 0) db->FlushCache();
+    db->Execute(w.queries[i].plan);
+    peak = std::max(peak, db->graph_stats().cached_bytes);
   }
   if (peak_bytes != nullptr) *peak_bytes = peak;
   return sw.ElapsedMs();
@@ -89,11 +87,9 @@ int main() {
   double naive_keepall = RunKeepAll(&catalog, workloads[0], -1, false);
   double naive_pipeline;
   {
-    RecyclerConfig cfg;
-    cfg.mode = RecyclerMode::kOff;
-    Recycler rec(&catalog, cfg);
+    auto db = MakeDatabase(catalog, RecyclerMode::kOff);
     Stopwatch sw;
-    for (const auto& q : workloads[0].queries) rec.Execute(q.plan);
+    for (const auto& q : workloads[0].queries) db->Execute(q.plan);
     naive_pipeline = sw.ElapsedMs();
   }
   std::printf("naive (no recycling): keep-all %.0f ms, pipelined %.0f ms\n\n",
@@ -106,11 +102,11 @@ int main() {
   int64_t keepall_peak = 0, recycler_peak = 0;
   for (int i = 0; i < 3; ++i) {
     double ka_lim = RunKeepAll(&catalog, workloads[i], kLimited, true);
-    double rc_lim = RunRecycler(&catalog, workloads[i], kLimited,
+    double rc_lim = RunRecycler(catalog, workloads[i], kLimited,
                                 RecyclerMode::kSpeculation);
     double ka_unl = RunKeepAll(&catalog, workloads[i], -1, true,
                                &keepall_peak);
-    double rc_unl = RunRecycler(&catalog, workloads[i], -1,
+    double rc_unl = RunRecycler(catalog, workloads[i], -1,
                                 RecyclerMode::kSpeculation, &recycler_peak);
     std::printf("%-7s | %10.1f%% %12.1f%% | %10.1f%% %12.1f%%\n",
                 split_names[i], 100 * ka_lim / naive_keepall,

@@ -27,10 +27,10 @@ int main() {
     if (streams > max_streams) continue;
     double avg_ms[4] = {0, 0, 0, 0};
     for (int m = 0; m < 4; ++m) {
-      Recycler rec = MakeRecycler(&catalog, modes[m]);
-      auto specs = MakeTpchStreams(streams, sf);
+      auto db = MakeDatabase(catalog, modes[m]);
+      auto specs = tpch::MakeStreams(streams, sf);
       workload::RunReport report =
-          workload::RunStreams(&rec, std::move(specs), 12);
+          workload::RunStreams(db.get(), std::move(specs), 12);
       avg_ms[m] = report.AvgStreamMs();
     }
     auto imp = [&](int m) { return 100.0 * (1.0 - avg_ms[m] / avg_ms[0]); };

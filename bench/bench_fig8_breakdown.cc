@@ -23,10 +23,10 @@ int main() {
                                 RecyclerMode::kProactive};
   std::map<std::string, double> avg[4];
   for (int m = 0; m < 4; ++m) {
-    Recycler rec = MakeRecycler(&catalog, modes[m]);
-    auto specs = MakeTpchStreams(streams, sf);
+    auto db = MakeDatabase(catalog, modes[m]);
+    auto specs = tpch::MakeStreams(streams, sf);
     workload::RunReport report =
-        workload::RunStreams(&rec, std::move(specs), 12);
+        workload::RunStreams(db.get(), std::move(specs), 12);
     for (const auto& [label, stats] : report.by_label) {
       avg[m][label] = stats.AvgMs();
     }

@@ -35,21 +35,21 @@ int main() {
     streams.push_back(std::move(spec));
   }
 
-  Recycler rec = MakeRecycler(&catalog, RecyclerMode::kProactive);
-  workload::RunReport report = workload::RunStreams(&rec, streams, 8);
+  auto db = MakeDatabase(catalog, RecyclerMode::kProactive);
+  workload::RunReport report = workload::RunStreams(db.get(), streams, 8);
 
   std::printf("%s\n", workload::FormatTrace(report).c_str());
   std::printf("wall time: %.1f ms\n", report.wall_ms);
   std::printf("reuses=%lld (subsumption=%lld) materializations=%lld "
               "stalls=%lld spec-aborts=%lld proactive=%lld\n",
-              (long long)rec.counters().reuses.load(),
-              (long long)rec.counters().subsumption_reuses.load(),
-              (long long)rec.counters().materializations.load(),
-              (long long)rec.counters().stalls.load(),
-              (long long)rec.counters().spec_aborts.load(),
-              (long long)rec.counters().proactive_rewrites.load());
+              (long long)db->counters().reuses.load(),
+              (long long)db->counters().subsumption_reuses.load(),
+              (long long)db->counters().materializations.load(),
+              (long long)db->counters().stalls.load(),
+              (long long)db->counters().spec_aborts.load(),
+              (long long)db->counters().proactive_rewrites.load());
   std::printf("recycler cache: %lld entries, %.1f MB\n",
-              (long long)rec.graph().Stats().num_cached,
-              rec.graph().Stats().cached_bytes / 1048576.0);
+              (long long)db->graph_stats().num_cached,
+              db->graph_stats().cached_bytes / 1048576.0);
   return 0;
 }

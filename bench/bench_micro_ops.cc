@@ -2,10 +2,11 @@
 // evaluation, and recycler-graph matching/insertion latency.
 #include <benchmark/benchmark.h>
 
-#include "common/rng.h"
-#include "exec/executor.h"
+// Operator-level micro benches are deliberately white-box (they time
+// ScanOp and the raw Executor); everything engine-level goes through the
+// public umbrella header.
 #include "exec/operators.h"
-#include "recycler/recycler.h"
+#include "recycledb/recycledb.h"
 
 namespace recycledb {
 namespace {
@@ -81,10 +82,14 @@ BENCHMARK(BM_TopN100)->Unit(benchmark::kMillisecond);
 // Matching + insertion cost as a function of recycler-graph size
 // (the Fig. 10 quantity, isolated).
 void BM_MatchAgainstGraph(benchmark::State& state) {
-  RecyclerConfig cfg;
-  cfg.mode = RecyclerMode::kHistory;
-  cfg.cache_bytes = 0;
-  Recycler rec(SharedCatalog(), cfg);
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kHistory;
+  options.recycler.cache_bytes = 0;
+  auto db = Database::OpenOrDie(options);
+  for (const auto& name : SharedCatalog()->TableNames()) {
+    (void)db->CreateTable(name, SharedCatalog()->GetTable(name));
+  }
+  Recycler& rec = db->recycler();  // Prepare-only: white-box by design
   // Pre-populate the graph with `range(0)` distinct select chains.
   for (int i = 0; i < state.range(0); ++i) {
     rec.Prepare(PlanNode::Select(

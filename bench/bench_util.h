@@ -6,13 +6,9 @@
 #include <string>
 #include <vector>
 
-#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
-#include "recycler/recycler.h"
-#include "skyserver/skyserver.h"
-#include "tpch/dbgen.h"
-#include "tpch/qgen.h"
-#include "workload/driver.h"
+#include "recycledb/recycledb.h"
 
 namespace recycledb {
 namespace bench {
@@ -124,52 +120,28 @@ class JsonResultSink {
   std::vector<std::string> rows_;
 };
 
-/// Builds the TPC-H stream specs for `num_streams` streams. Seeded by
-/// stream id so every mode sees the identical workload.
-inline std::vector<workload::StreamSpec> MakeTpchStreams(int num_streams,
-                                                         double sf,
-                                                         uint64_t seed = 77) {
-  std::vector<workload::StreamSpec> streams;
-  streams.reserve(num_streams);
-  for (int s = 0; s < num_streams; ++s) {
-    Rng rng(seed + static_cast<uint64_t>(s) * 1000003ULL);
-    workload::StreamSpec spec;
-    for (const auto& q : tpch::GenerateStream(s, &rng, sf)) {
-      spec.labels.push_back("Q" + std::to_string(q.query));
-      spec.plans.push_back(tpch::BuildQuery(q.query, q.params, sf));
-    }
-    streams.push_back(std::move(spec));
+/// Opens a Database with `config` whose catalog shares the base tables
+/// of `source` (zero-copy TablePtr sharing), so mode-sweep benches
+/// generate the workload data once and compare engines over identical
+/// tables.
+inline std::unique_ptr<Database> MakeDatabase(const Catalog& source,
+                                              const RecyclerConfig& config) {
+  DatabaseOptions options;
+  options.recycler = config;
+  std::unique_ptr<Database> db = Database::OpenOrDie(options);
+  for (const auto& name : source.TableNames()) {
+    RDB_CHECK(db->CreateTable(name, source.GetTable(name)).ok());
   }
-  return streams;
+  return db;
 }
 
-/// Builds SkyServer stream specs: `num_streams` streams of
-/// `queries_per_stream` queries each, drawn from the synthetic 100-query
-/// log generator (dominant exact repeats + variants sharing the cone
-/// search). Seeded per stream so runs are reproducible.
-inline std::vector<workload::StreamSpec> MakeSkyStreams(
-    int num_streams, int queries_per_stream, uint64_t seed = 42) {
-  std::vector<workload::StreamSpec> streams;
-  streams.reserve(num_streams);
-  for (int s = 0; s < num_streams; ++s) {
-    Rng rng(seed + static_cast<uint64_t>(s) * 7919ULL);
-    workload::StreamSpec spec;
-    for (auto& q :
-         skyserver::GenerateWorkload(queries_per_stream, &rng)) {
-      spec.labels.push_back(q.dominant ? "sky-dom" : "sky-var");
-      spec.plans.push_back(std::move(q.plan));
-    }
-    streams.push_back(std::move(spec));
-  }
-  return streams;
-}
-
-inline Recycler MakeRecycler(const Catalog* catalog, RecyclerMode mode,
-                             int64_t cache_bytes = 256ll << 20) {
-  RecyclerConfig cfg;
-  cfg.mode = mode;
-  cfg.cache_bytes = cache_bytes;
-  return Recycler(catalog, cfg);
+inline std::unique_ptr<Database> MakeDatabase(
+    const Catalog& source, RecyclerMode mode,
+    int64_t cache_bytes = 256ll << 20) {
+  RecyclerConfig config;
+  config.mode = mode;
+  config.cache_bytes = cache_bytes;
+  return MakeDatabase(source, config);
 }
 
 inline void PrintHeader(const std::string& title) {

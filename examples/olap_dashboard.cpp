@@ -1,49 +1,45 @@
 // OLAP dashboard session: the paper's motivating scenario — an interactive
 // tool issuing refinements of the same query pattern (roll-ups, drill-
 // downs, filter tweaks, paging). Subsumption and proactive cube caching
-// turn the session's tail queries into cache hits.
+// turn the session's tail queries into cache hits. Everything goes
+// through the public Database/Session/Query facade; the region filter is
+// a prepared-statement parameter.
 //
-//   $ ./build/examples/olap_dashboard
+//   $ ./build/example_olap_dashboard
 #include <cstdio>
 
-#include "common/rng.h"
-#include "recycler/recycler.h"
+#include "recycledb/recycledb.h"
 
 using namespace recycledb;
 
 namespace {
 
-PlanPtr SalesCube(std::vector<std::string> dims, ExprPtr filter) {
-  PlanPtr scan = PlanNode::Scan(
-      "orders", {"region", "product", "month_d", "quantity", "amount"});
-  PlanPtr input = filter ? PlanNode::Select(scan, filter) : scan;
-  return PlanNode::Aggregate(
-      input, std::move(dims),
-      {{AggFunc::kSum, Expr::Column("amount"), "revenue"},
-       {AggFunc::kCount, Expr::Literal(int64_t{1}), "num_orders"},
-       {AggFunc::kAvg, Expr::Column("amount"), "avg_order"}});
+Query SalesCube(Database& db, std::vector<std::string> dims, ExprPtr filter) {
+  Query q = db.Scan("orders",
+                    {"region", "product", "month_d", "quantity", "amount"});
+  if (filter != nullptr) q = q.Filter(std::move(filter));
+  return q.Aggregate(std::move(dims),
+                     {{AggFunc::kSum, Expr::Column("amount"), "revenue"},
+                      {AggFunc::kCount, Expr::Literal(int64_t{1}),
+                       "num_orders"},
+                      {AggFunc::kAvg, Expr::Column("amount"), "avg_order"}});
 }
 
-PlanPtr TopProducts(int64_t n) {
-  return PlanNode::TopN(
-      SalesCube({"product"}, nullptr),
-      {{"revenue", false}}, n);
-}
-
-void Show(const char* what, Recycler& engine, PlanPtr plan) {
-  QueryTrace trace;
-  ExecResult r = engine.Execute(plan, &trace);
-  std::printf("%-46s %8.2f ms  rows=%-5lld %s%s%s\n", what, r.total_ms,
-              (long long)r.table->num_rows(),
-              trace.num_reuses > 0 ? "[reused] " : "",
-              trace.num_subsumption_reuses > 0 ? "[subsumption] " : "",
-              trace.used_proactive ? "[proactive]" : "");
+void Show(const char* what, const Result& r) {
+  std::printf("%-46s %8.2f ms  rows=%-5lld %s%s%s\n", what, r.total_ms(),
+              (long long)r.num_rows(), r.recycled() ? "[reused] " : "",
+              r.subsumption_reuses() > 0 ? "[subsumption] " : "",
+              r.trace().used_proactive ? "[proactive]" : "");
 }
 
 }  // namespace
 
 int main() {
-  Catalog catalog;
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kProactive;  // all techniques on
+  std::unique_ptr<Database> db;
+  if (!Database::Open(options, &db).ok()) return 1;
+
   Schema schema({{"region", TypeId::kString},
                  {"product", TypeId::kString},
                  {"month_d", TypeId::kDate},
@@ -61,40 +57,52 @@ int main() {
                        static_cast<int32_t>(rng.Uniform(1, 20)),
                        static_cast<double>(rng.Uniform(5, 900))});
   }
-  if (!catalog.RegisterTable("orders", orders).ok()) return 1;
+  if (!db->CreateTable("orders", orders).ok()) return 1;
 
-  RecyclerConfig config;
-  config.mode = RecyclerMode::kProactive;  // all techniques on
-  Recycler engine(&catalog, config);
+  auto session = db->Connect({});
 
   std::printf("--- interactive dashboard session ---\n");
   // The analyst opens the dashboard: full cube by (region, product).
-  Show("cube by region x product", engine,
-       SalesCube({"region", "product"}, nullptr));
+  Show("cube by region x product",
+       session->Execute(SalesCube(*db, {"region", "product"}, nullptr)));
   // Roll-up to region: derivable from the cached finer cube (subsumption).
-  Show("roll-up to region", engine, SalesCube({"region"}, nullptr));
-  // Roll-up to product.
-  Show("roll-up to product", engine, SalesCube({"product"}, nullptr));
-  // Filter refinements on region: cube caching with selections kicks in
-  // after it has seen the pattern (pull the selection above the cube).
+  Show("roll-up to region",
+       session->Execute(SalesCube(*db, {"region"}, nullptr)));
+  Show("roll-up to product",
+       session->Execute(SalesCube(*db, {"product"}, nullptr)));
+
+  // Filter refinements on region, prepared once with a $region parameter:
+  // cube caching with selections kicks in after it has seen the pattern.
+  Status st;
+  auto by_region = session->Prepare(
+      SalesCube(*db, {"product"},
+                Expr::Eq(Expr::Column("region"), Expr::Param("region"))),
+      &st);
+  if (by_region == nullptr) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   for (const char* r : {"EMEA", "APAC", "AMER", "EMEA"}) {
     Show(("revenue by product where region=" + std::string(r)).c_str(),
-         engine,
-         SalesCube({"product"},
-                   Expr::Eq(Expr::Column("region"),
-                            Expr::Literal(std::string(r)))));
+         by_region->Execute({{"region", std::string(r)}}));
   }
+
   // Paging through a ranked product list: top-N caching (the proactive
   // rewrite computes top-10000 once; pages are its prefixes).
-  Show("top 10 products", engine, TopProducts(10));
-  Show("top 25 products", engine, TopProducts(25));
-  Show("top 100 products", engine, TopProducts(100));
+  Query ranked = SalesCube(*db, {"product"}, nullptr);
+  for (int64_t n : {10, 25, 100}) {
+    Show(("top " + std::to_string(n) + " products").c_str(),
+         session->Execute(ranked.TopN({{"revenue", false}}, n)));
+  }
 
-  std::printf("\nsession totals: reuses=%lld (via subsumption=%lld), "
-              "materializations=%lld, proactive rewrites=%lld\n",
-              (long long)engine.counters().reuses.load(),
-              (long long)engine.counters().subsumption_reuses.load(),
-              (long long)engine.counters().materializations.load(),
-              (long long)engine.counters().proactive_rewrites.load());
+  SessionStats stats = session->stats();
+  std::printf("\nsession totals: %lld queries, reuses=%lld (via "
+              "subsumption=%lld), materializations=%lld\n",
+              (long long)stats.queries, (long long)stats.reuses,
+              (long long)stats.subsumption_reuses,
+              (long long)stats.materializations);
+  std::printf("region template: %lld executions, %lld reuses\n",
+              (long long)by_region->stats().executions,
+              (long long)by_region->stats().reuses);
   return 0;
 }

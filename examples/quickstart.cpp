@@ -1,17 +1,29 @@
-// Quickstart: build a table, run a query through the recycler twice, and
-// watch the second run get answered from the recycler cache.
+// Quickstart: open an embedded Database, prepare a parameterized query
+// template, and watch rebinding the same template hit the recycler cache.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/example_quickstart
 #include <cstdio>
 
-#include "common/rng.h"
-#include "recycler/recycler.h"
+#include "recycledb/recycledb.h"
 
 using namespace recycledb;
 
 int main() {
-  // 1. Register a base table with the catalog.
-  Catalog catalog;
+  std::printf("%s\n", RecycleDBVersion());
+
+  // 1. Open an engine (speculation mode: never-seen expensive/small
+  //    results are materialized on their first run).
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kSpeculation;
+  options.recycler.cache_bytes = 64 << 20;
+  std::unique_ptr<Database> db;
+  Status st = Database::Open(options, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2. Register a base table.
   Schema schema({{"city", TypeId::kString},
                  {"year", TypeId::kInt32},
                  {"sales", TypeId::kDouble}});
@@ -23,41 +35,55 @@ int main() {
                       static_cast<int32_t>(rng.Uniform(2005, 2012)),
                       static_cast<double>(rng.Uniform(10, 5000))});
   }
-  if (!catalog.RegisterTable("sales", sales).ok()) return 1;
+  if (!db->CreateTable("sales", sales).ok()) return 1;
 
-  // 2. Create a recycler-enabled engine (speculation mode: never-seen
-  //    expensive/small results are materialized on their first run).
-  RecyclerConfig config;
-  config.mode = RecyclerMode::kSpeculation;
-  config.cache_bytes = 64 << 20;
-  Recycler engine(&catalog, config);
+  // 3. Build a query template with the fluent builder: total sales per
+  //    city since $since — the cutoff year is a named parameter.
+  Query query =
+      db->Scan("sales", {"city", "year", "sales"})
+          .Filter(Expr::Ge(Expr::Column("year"), Expr::Param("since")))
+          .Aggregate({"city"},
+                     {{AggFunc::kSum, Expr::Column("sales"), "total"},
+                      {AggFunc::kCount, Expr::Literal(int64_t{1}), "orders"}})
+          .OrderBy({{"total", false}});
+  std::printf("\n%s", query.Explain().c_str());
 
-  // 3. Build a query plan: total sales per city since 2008.
-  auto make_plan = [] {
-    return PlanNode::OrderBy(
-        PlanNode::Aggregate(
-            PlanNode::Select(PlanNode::Scan("sales", {"city", "year", "sales"}),
-                             Expr::Ge(Expr::Column("year"),
-                                      Expr::Literal(int64_t{2008}))),
-            {"city"},
-            {{AggFunc::kSum, Expr::Column("sales"), "total"},
-             {AggFunc::kCount, Expr::Literal(int64_t{1}), "orders"}}),
-        {{"total", false}});
-  };
-
-  // 4. Execute twice; the second invocation reuses the cached result.
-  for (int run = 1; run <= 2; ++run) {
-    QueryTrace trace;
-    ExecResult result = engine.Execute(make_plan(), &trace);
-    std::printf("run %d: %.2f ms, reused=%d materialized=%d\n", run,
-                result.total_ms, trace.num_reuses, trace.num_materialized);
-    std::printf("%s\n", result.table->ToString().c_str());
+  // 4. Prepare once, rebind per request. Repeating a binding is answered
+  //    from the recycler cache (the Result stats show the reuse).
+  auto session = db->Connect({});
+  auto stmt = session->Prepare(query, &st);
+  if (stmt == nullptr) {
+    std::fprintf(stderr, "prepare failed: %s\n", st.ToString().c_str());
+    return 1;
   }
+  for (int64_t since : {2008, 2010, 2008, 2010}) {
+    Result r = stmt->Bind("since", since).Execute();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("since=%lld: %.2f ms, rows=%lld %s\n", (long long)since,
+                r.total_ms(), (long long)r.num_rows(),
+                r.recycled() ? "[cache hit]" : "[computed]");
+  }
+  std::printf("%s\n", stmt->Execute({{"since", int64_t{2008}}})
+                          .ToString()
+                          .c_str());
 
-  // 5. Inspect the recycler.
-  GraphStats stats = engine.graph().Stats();
+  // 5. Batch-iterate a result (zero-copy views of the cached table).
+  Result r = stmt->Execute();
+  int64_t batches = 0;
+  for (Batch batch : r.Batches()) batches += batch.num_rows > 0 ? 1 : 0;
+  std::printf("result arrives in %lld batch(es)\n", (long long)batches);
+
+  // 6. Template-level accounting + engine state.
+  TemplateStats ts = stmt->stats();
+  GraphStats gs = db->graph_stats();
+  std::printf("template: %lld executions, %lld reuses, %lld materialized\n",
+              (long long)ts.executions, (long long)ts.reuses,
+              (long long)ts.materializations);
   std::printf("recycler graph: %lld nodes, %lld cached results (%.1f KB)\n",
-              (long long)stats.num_nodes, (long long)stats.num_cached,
-              stats.cached_bytes / 1024.0);
-  return 0;
+              (long long)gs.num_nodes, (long long)gs.num_cached,
+              gs.cached_bytes / 1024.0);
+  return ts.reuses > 0 ? 0 : 2;  // smoke-test gate: rebinding must reuse
 }

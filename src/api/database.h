@@ -1,0 +1,133 @@
+// Database: the embeddable engine facade.
+//
+// Owns the Catalog, the Recycler (the paper's contribution), a worker
+// pool and an admission gate for asynchronous submissions. Thread-safe:
+// concurrent sessions share one Database. See DESIGN.md "Public API &
+// session model".
+//
+//   DatabaseOptions options;
+//   options.recycler.mode = RecyclerMode::kSpeculation;
+//   std::unique_ptr<Database> db;
+//   Status st = Database::Open(options, &db);
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "api/result.h"
+#include "api/session.h"
+#include "common/admission.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "recycler/recycler.h"
+
+namespace recycledb {
+
+/// Engine-wide configuration.
+struct DatabaseOptions {
+  /// Recycler tunables (validated by Database::Open).
+  RecyclerConfig recycler;
+  /// Bound on simultaneously executing queries admitted through async
+  /// Submit() calls (the paper's execution bound).
+  int max_concurrent = 12;
+  /// Worker threads serving async submissions.
+  int async_threads = 2;
+};
+
+/// Validates recycler tunables, returning InvalidArgument for nonsense
+/// (negative speculation_h, non-positive stall timeout, sub-4KB positive
+/// cache budgets, aging alpha outside (0, 1], ...). cache_bytes == 0
+/// (cache disabled) and cache_bytes < 0 (unlimited) are both valid.
+Status ValidateRecyclerConfig(const RecyclerConfig& config);
+
+class Database {
+ public:
+  /// Validates `options` and constructs the engine. On failure `*out` is
+  /// untouched and the status says which option is invalid.
+  static Status Open(DatabaseOptions options, std::unique_ptr<Database>* out);
+
+  /// Convenience for tools and benches: aborts on invalid options.
+  static std::unique_ptr<Database> OpenOrDie(DatabaseOptions options = {});
+
+  ~Database();
+
+  // ---- schema ----------------------------------------------------------
+  Status CreateTable(const std::string& name, TablePtr table);
+  /// Replaces a table and invalidates every cached result depending on it
+  /// (the paper's update-commit semantics).
+  Status ReplaceTable(const std::string& name, TablePtr table);
+  /// The catalog, for workload generators that populate tables directly
+  /// (tpch::Generate, skyserver::Setup).
+  Catalog& catalog() { return catalog_; }
+
+  // ---- sessions & queries ---------------------------------------------
+  /// Opens a client session. Sessions must not outlive the Database.
+  std::unique_ptr<Session> Connect(SessionOptions options = {});
+
+  Query Scan(std::string table, std::vector<std::string> columns) {
+    return Query::Scan(std::move(table), std::move(columns));
+  }
+  Query FunctionScan(std::string function, std::vector<ExprPtr> args) {
+    return Query::FunctionScan(std::move(function), std::move(args));
+  }
+
+  /// One-shot execution on the built-in default session.
+  Result Execute(const Query& query) { return default_session_->Execute(query); }
+  Result Execute(PlanPtr plan) {
+    return default_session_->Execute(std::move(plan));
+  }
+  /// Default-session prepared statement (single-client embedders).
+  std::unique_ptr<PreparedStatement> Prepare(const Query& query,
+                                             Status* status = nullptr) {
+    return default_session_->Prepare(query, status);
+  }
+
+  // ---- cache control ---------------------------------------------------
+  void InvalidateTable(const std::string& table);
+  void FlushCache();
+  int64_t TruncateGraph(int64_t idle_epochs);
+
+  // ---- observability ---------------------------------------------------
+  GraphStats graph_stats() { return recycler_.graph().Stats(); }
+  const RecyclerCounters& counters() const { return recycler_.counters(); }
+  const RecyclerConfig& config() const { return recycler_.config(); }
+  const DatabaseOptions& options() const { return options_; }
+  TemplateStats StatsForTemplate(uint64_t template_hash) const {
+    return recycler_.TemplateStatsFor(template_hash);
+  }
+
+  /// White-box escape hatch for ablation benches and internal tests; the
+  /// facade is the supported surface.
+  Recycler& recycler() { return recycler_; }
+
+ private:
+  friend class Session;
+
+  explicit Database(DatabaseOptions options);
+
+  /// Runs `fn` on a worker thread under the admission gate. `*accepted`
+  /// (optional) reports whether the pool took the task; on rejection
+  /// (shutdown) the future is fulfilled with an error and `fn` is never
+  /// invoked.
+  std::future<Result> SubmitTask(std::function<Result()> fn,
+                                 bool* accepted = nullptr);
+
+  /// Executor for sessions that bypass the recycler.
+  Executor& raw_executor() { return raw_executor_; }
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  Recycler recycler_;
+  Executor raw_executor_;
+  AdmissionGate gate_;
+  std::unique_ptr<Session> default_session_;
+  /// Declared last: destroyed first, draining in-flight submissions while
+  /// the engine state above is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace recycledb

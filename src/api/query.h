@@ -1,0 +1,98 @@
+// Fluent query builder: the public face of the plan IR.
+//
+//   Query q = db.Scan("sales", {"city", "year", "sales"})
+//                .Filter(Expr::Ge(Expr::Column("year"), Expr::Param("y")))
+//                .Aggregate({"city"}, {{AggFunc::kSum, Expr::Column("sales"),
+//                                       "total"}})
+//                .OrderBy({{"total", false}});
+//
+// A Query is an immutable wrapper over a PlanPtr; every builder call
+// returns a new Query whose plan shares the receiver's plan as a child,
+// so template prefixes are shared, not copied. Queries may contain
+// Expr::Param placeholders; parameterized queries must go through
+// Session::Prepare, parameter-free ones can be executed directly.
+//
+// A Query is not tied to a Database until executed; execute it against
+// one Database only (plans bind their schemas on first execution).
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace recycledb {
+
+class Query {
+ public:
+  /// An empty query; usable only as a target for assignment.
+  Query() = default;
+
+  // ---- roots (also exposed as Database::Scan / Session::Scan) ---------
+  static Query Scan(std::string table, std::vector<std::string> columns) {
+    return Query(PlanNode::Scan(std::move(table), std::move(columns)));
+  }
+  /// Table-function scan; args may mix literals and Expr::Param.
+  static Query FunctionScan(std::string function, std::vector<ExprPtr> args) {
+    return Query(
+        PlanNode::FunctionScanTemplate(std::move(function), std::move(args)));
+  }
+  /// Wraps an existing plan (workload generators, tests).
+  static Query FromPlan(PlanPtr plan) { return Query(std::move(plan)); }
+
+  // ---- operators -------------------------------------------------------
+  Query Filter(ExprPtr predicate) const {
+    return Query(PlanNode::Select(plan_, std::move(predicate)));
+  }
+  Query Project(std::vector<ProjItem> items) const {
+    return Query(PlanNode::Project(plan_, std::move(items)));
+  }
+  Query Aggregate(std::vector<std::string> group_by,
+                  std::vector<AggItem> aggregates) const {
+    return Query(
+        PlanNode::Aggregate(plan_, std::move(group_by), std::move(aggregates)));
+  }
+  Query Join(const Query& right, JoinKind kind,
+             std::vector<std::string> left_keys,
+             std::vector<std::string> right_keys) const {
+    return Query(PlanNode::HashJoin(plan_, right.plan_, kind,
+                                    std::move(left_keys),
+                                    std::move(right_keys)));
+  }
+  Query OrderBy(std::vector<SortKey> keys) const {
+    return Query(PlanNode::OrderBy(plan_, std::move(keys)));
+  }
+  Query TopN(std::vector<SortKey> keys, int64_t n) const {
+    return Query(PlanNode::TopN(plan_, std::move(keys), n));
+  }
+  Query Limit(int64_t n) const { return Query(PlanNode::Limit(plan_, n)); }
+  Query Union(const Query& other) const {
+    return Query(PlanNode::UnionAll({plan_, other.plan_}));
+  }
+
+  // ---- inspection ------------------------------------------------------
+  const PlanPtr& plan() const { return plan_; }
+  bool HasParams() const { return plan_ != nullptr && plan_->HasParams(); }
+  std::set<std::string> Params() const {
+    std::set<std::string> out;
+    if (plan_ != nullptr) plan_->CollectParams(&out);
+    return out;
+  }
+  /// Indented operator tree with parameters ($name placeholders).
+  std::string Explain() const {
+    return plan_ == nullptr ? "(empty query)\n" : plan_->Explain();
+  }
+  /// Canonical template fingerprint (binding-independent).
+  std::string TemplateFingerprint() const {
+    return plan_ == nullptr ? "" : plan_->TemplateFingerprint();
+  }
+
+ private:
+  explicit Query(PlanPtr plan) : plan_(std::move(plan)) {}
+
+  PlanPtr plan_;
+};
+
+}  // namespace recycledb

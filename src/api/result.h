@@ -1,0 +1,121 @@
+// Result: the public API's query-result handle.
+//
+// A Result owns (shares) the materialized result table, the per-query
+// recycler trace, and — on failure — a Status. Result tables reused from
+// the recycler cache are shared immutable objects, so a Result stays
+// valid after the cache evicts or invalidates the entry it came from
+// (see DESIGN.md "Public API & session model": lifetime rules).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "recycler/recycler.h"
+
+namespace recycledb {
+
+/// Outcome of one query execution through the facade.
+class Result {
+ public:
+  Result() = default;
+
+  static Result Error(Status status) {
+    Result r;
+    r.status_ = std::move(status);
+    return r;
+  }
+
+  static Result Of(ExecResult exec, QueryTrace trace) {
+    Result r;
+    r.table_ = std::move(exec.table);
+    r.total_ms_ = exec.total_ms;
+    r.trace_ = std::move(trace);
+    return r;
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The materialized result (nullptr on error). Shared ownership: stays
+  /// valid independent of recycler-cache eviction.
+  const TablePtr& table() const { return table_; }
+  int64_t num_rows() const { return table_ == nullptr ? 0 : table_->num_rows(); }
+  const Schema& schema() const {
+    static const Schema kEmpty;
+    return table_ == nullptr ? kEmpty : table_->schema();
+  }
+  double total_ms() const { return total_ms_; }
+
+  // --- reuse accounting (drives the acceptance check: rebinding a
+  // --- prepared statement shows cache reuse in its Result stats) --------
+  const QueryTrace& trace() const { return trace_; }
+  /// True if at least one cached result was consumed.
+  bool recycled() const { return trace_.num_reuses > 0; }
+  int reuses() const { return trace_.num_reuses; }
+  int subsumption_reuses() const { return trace_.num_subsumption_reuses; }
+  int materialized() const { return trace_.num_materialized; }
+  /// Executions of this query's template before this one (0 for ad-hoc).
+  int64_t template_prior_runs() const { return trace_.template_prior_runs; }
+
+  std::string ToString(int64_t max_rows = 20) const {
+    if (!ok() || table_ == nullptr) return status_.ToString();
+    return table_->ToString(max_rows);
+  }
+
+  // --- batch iteration (zero-copy column views) -------------------------
+  /// A view batch of up to kDefaultBatchRows rows. Iteration shares the
+  /// result columns; batches remain valid while the Result (or any other
+  /// owner of the table) is alive.
+  class BatchIterator {
+   public:
+    BatchIterator(const Table* table, int64_t pos) : table_(table), pos_(pos) {}
+
+    Batch operator*() const {
+      Batch batch;
+      int64_t count =
+          std::min(kDefaultBatchRows, table_->num_rows() - pos_);
+      for (int c = 0; c < table_->num_columns(); ++c) {
+        batch.columns.push_back(
+            ColumnVector::Slice(table_->column(c), pos_, count));
+      }
+      batch.num_rows = count;
+      return batch;
+    }
+    BatchIterator& operator++() {
+      pos_ += kDefaultBatchRows;
+      return *this;
+    }
+    bool operator!=(const BatchIterator& other) const {
+      return pos_ < other.pos_;
+    }
+
+   private:
+    const Table* table_;
+    int64_t pos_;
+  };
+
+  /// Range over the result's batches: `for (Batch b : result.Batches())`.
+  class BatchRange {
+   public:
+    explicit BatchRange(const Table* table) : table_(table) {}
+    BatchIterator begin() const { return BatchIterator(table_, 0); }
+    BatchIterator end() const {
+      return BatchIterator(table_, table_ == nullptr ? 0 : table_->num_rows());
+    }
+
+   private:
+    const Table* table_;
+  };
+
+  BatchRange Batches() const { return BatchRange(table_.get()); }
+
+ private:
+  Status status_;
+  TablePtr table_;
+  double total_ms_ = 0;
+  QueryTrace trace_;
+};
+
+}  // namespace recycledb

@@ -1,0 +1,179 @@
+#include "api/session.h"
+
+#include <functional>
+
+#include "api/database.h"
+#include "api/validate.h"
+
+namespace recycledb {
+
+Session::Session(Database* db, SessionOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Session::~Session() {
+  // Workers hold a raw pointer to this session; wait out every async
+  // submission before the stats/mutex are destroyed.
+  std::unique_lock<std::mutex> lock(mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+Result Session::Execute(const Query& query) {
+  if (query.plan() == nullptr) {
+    Result r = Result::Error(Status::InvalidArgument("empty query"));
+    Record(r);
+    return r;
+  }
+  if (query.HasParams()) {
+    Result r = Result::Error(Status::InvalidArgument(
+        "query has unbound parameters; prepare it and Bind() values:\n" +
+        query.Explain()));
+    Record(r);
+    return r;
+  }
+  return RunPlan(query.plan());
+}
+
+Result Session::Execute(PlanPtr plan) { return RunPlan(plan); }
+
+std::future<Result> Session::Submit(const Query& query) {
+  if (query.plan() == nullptr || query.HasParams()) {
+    // Route through Execute for its error handling.
+    Query q = query;
+    return SubmitInternal([this, q] { return Execute(q); });
+  }
+  // Deep-clone: concurrent submissions of one Query must not race on
+  // Bind's schema writes in the shared plan nodes.
+  PlanPtr plan = query.plan()->CloneDeep();
+  return SubmitInternal([this, plan = std::move(plan)] {
+    return RunPlan(plan);
+  });
+}
+
+std::future<Result> Session::Submit(PlanPtr plan) {
+  return SubmitInternal(
+      [this, plan = std::move(plan)] { return RunPlan(plan); });
+}
+
+std::future<Result> Session::SubmitInternal(std::function<Result()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_;
+  }
+  bool accepted = false;
+  std::future<Result> future = db_->SubmitTask(
+      [this, fn = std::move(fn)] {
+        Result r = fn();
+        {
+          // Notify under the lock: ~Session may destroy the condvar the
+          // moment inflight_ reaches 0 and the mutex is released.
+          std::lock_guard<std::mutex> lock(mu_);
+          --inflight_;
+          inflight_cv_.notify_all();
+        }
+        return r;
+      },
+      &accepted);
+  if (!accepted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  return future;
+}
+
+std::unique_ptr<PreparedStatement> Session::Prepare(const Query& query,
+                                                    Status* status) {
+  auto fail = [status](Status st) -> std::unique_ptr<PreparedStatement> {
+    if (status != nullptr) *status = std::move(st);
+    return nullptr;
+  };
+  if (query.plan() == nullptr) {
+    return fail(Status::InvalidArgument("empty query"));
+  }
+  // The statement owns a private copy of the template: Prepare must not
+  // mutate the caller's (possibly thread-shared) Query plan when it
+  // pre-binds subtrees below.
+  PlanPtr tmpl = query.plan()->CloneDeep();
+  // Pre-validate and pre-bind every parameter-free subtree now, so each
+  // Bind/Execute round only validates and clones the parameterized spine
+  // (and structural template errors surface at Prepare, not first use).
+  std::function<Status(const PlanPtr&)> prebind =
+      [&](const PlanPtr& node) -> Status {
+    if (!node->HasParams()) {
+      RDB_RETURN_NOT_OK(ValidatePlan(node, db_->catalog(), nullptr));
+      node->Bind(db_->catalog());
+      return Status::OK();
+    }
+    for (const auto& c : node->children()) RDB_RETURN_NOT_OK(prebind(c));
+    return Status::OK();
+  };
+  Status st = prebind(tmpl);
+  if (!st.ok()) return fail(std::move(st));
+  if (status != nullptr) *status = Status::OK();
+  return std::unique_ptr<PreparedStatement>(
+      new PreparedStatement(this, std::move(tmpl)));
+}
+
+Result Session::RunPlan(const PlanPtr& plan) {
+  Status st = ValidatePlan(plan, db_->catalog(), nullptr);
+  if (!st.ok()) {
+    Result r = Result::Error(std::move(st));
+    Record(r);
+    return r;
+  }
+  return RunValidatedPlan(plan);
+}
+
+Result Session::RunValidatedPlan(const PlanPtr& plan) {
+  Result result;
+  if (options_.bypass_recycler) {
+    plan->Bind(db_->catalog());
+    QueryTrace trace;
+    trace.template_hash = plan->template_hash();
+    result = Result::Of(db_->raw_executor().Run(plan), std::move(trace));
+  } else {
+    QueryTrace trace;
+    ExecResult exec = db_->recycler().Execute(plan, &trace);
+    result = Result::Of(std::move(exec), std::move(trace));
+  }
+  Record(result);
+  return result;
+}
+
+void Session::Record(const Result& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  if (!result.ok()) {
+    ++stats_.errors;
+    return;
+  }
+  stats_.reuses += result.reuses();
+  stats_.subsumption_reuses += result.subsumption_reuses();
+  stats_.materializations += result.materialized();
+  stats_.stalls += result.trace().num_stalls;
+  stats_.total_ms += result.total_ms();
+  if (options_.collect_traces && options_.max_traces > 0) {
+    if (traces_.size() < options_.max_traces) {
+      traces_.push_back(result.trace());
+    } else {
+      traces_[trace_head_] = result.trace();
+      trace_head_ = (trace_head_ + 1) % options_.max_traces;
+    }
+  }
+}
+
+SessionStats Session::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<QueryTrace> Session::traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out;
+  out.reserve(traces_.size());
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    out.push_back(traces_[(trace_head_ + i) % traces_.size()]);
+  }
+  return out;
+}
+
+}  // namespace recycledb

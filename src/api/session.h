@@ -1,0 +1,122 @@
+// Session: a per-client handle onto a shared Database.
+//
+// Each session keeps its own statistics and trace ring and may override
+// per-client execution settings (trace collection, recycler bypass)
+// without affecting other sessions. Sessions are cheap; create one per
+// client/thread. A Session is not thread-safe — concurrent clients each
+// use their own — and must not outlive its Database.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "api/result.h"
+#include "api/statement.h"
+#include "common/status.h"
+
+namespace recycledb {
+
+class Database;
+
+/// Per-session configuration overrides (the Database supplies defaults
+/// for everything it does not override).
+struct SessionOptions {
+  /// Label used in traces/diagnostics.
+  std::string name = "session";
+  /// Keep a ring of per-query traces (session-local observability).
+  bool collect_traces = true;
+  /// Trace ring capacity.
+  size_t max_traces = 1024;
+  /// Override: execute this session's queries WITHOUT the recycler
+  /// (plain pipelined execution). For per-client A/B comparisons against
+  /// the same data.
+  bool bypass_recycler = false;
+};
+
+/// Session-local aggregate statistics.
+struct SessionStats {
+  int64_t queries = 0;
+  int64_t errors = 0;
+  int64_t reuses = 0;
+  int64_t subsumption_reuses = 0;
+  int64_t materializations = 0;
+  int64_t stalls = 0;
+  double total_ms = 0;
+};
+
+class Session {
+ public:
+  /// Blocks until every async Submit issued through this session has
+  /// completed (workers hold a raw pointer to the session's stats).
+  ~Session();
+
+  // ---- query building --------------------------------------------------
+  Query Scan(std::string table, std::vector<std::string> columns) const {
+    return Query::Scan(std::move(table), std::move(columns));
+  }
+  Query FunctionScan(std::string function, std::vector<ExprPtr> args) const {
+    return Query::FunctionScan(std::move(function), std::move(args));
+  }
+
+  // ---- execution -------------------------------------------------------
+  /// Validates and executes a parameter-free query.
+  Result Execute(const Query& query);
+  /// Executes a raw plan (workload generators).
+  Result Execute(PlanPtr plan);
+  /// Async variants routed through the database admission gate. The
+  /// Query overload deep-clones the plan so the same Query object can be
+  /// submitted concurrently; the PlanPtr overload transfers ownership
+  /// (do not submit one unbound plan object twice).
+  std::future<Result> Submit(const Query& query);
+  std::future<Result> Submit(PlanPtr plan);
+
+  /// Compiles a (possibly parameterized) query into a prepared statement
+  /// owned by the caller. Returns nullptr on invalid templates, with the
+  /// reason in `*status` (when non-null). The statement must not outlive
+  /// this session.
+  std::unique_ptr<PreparedStatement> Prepare(const Query& query,
+                                             Status* status = nullptr);
+
+  // ---- observability ---------------------------------------------------
+  SessionStats stats() const;
+  /// Most recent traces, oldest first (empty if collect_traces is off).
+  std::vector<QueryTrace> traces() const;
+  const SessionOptions& options() const { return options_; }
+  Database* database() const { return db_; }
+
+ private:
+  friend class Database;
+  friend class PreparedStatement;
+
+  Session(Database* db, SessionOptions options);
+
+  /// Validates, binds and runs a plan, recording session stats/traces.
+  Result RunPlan(const PlanPtr& plan);
+  /// Same, for plans a PreparedStatement already validated.
+  Result RunValidatedPlan(const PlanPtr& plan);
+  /// Wraps `fn` with in-flight accounting and hands it to the database
+  /// pool (used by Submit and PreparedStatement::Submit).
+  std::future<Result> SubmitInternal(std::function<Result()> fn);
+  void Record(const Result& result);
+
+  Database* db_;
+  SessionOptions options_;
+  /// Guards stats_/traces_/inflight_: Submit() fulfills results on
+  /// database worker threads while the client thread reads stats.
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;
+  int inflight_ = 0;
+  SessionStats stats_;
+  /// Fixed-capacity trace ring: traces_[trace_head_] is the oldest entry
+  /// once the ring has wrapped.
+  std::vector<QueryTrace> traces_;
+  size_t trace_head_ = 0;
+};
+
+}  // namespace recycledb

@@ -1,0 +1,78 @@
+// PreparedStatement: a reusable query template with named parameters.
+//
+// The paper's workloads are templates — SkyServer and TPC-H queries that
+// differ only in constants (§V) — and that is exactly the shape the
+// recycler exploits. A PreparedStatement captures the template once
+// (canonical fingerprint, pre-validated and pre-bound parameter-free
+// subtrees), and each Bind/Execute round only re-creates the
+// parameterized spine of the plan. Executions carry the template's hash
+// so the recycler attributes reuse to the template (TemplateStats).
+//
+// Not thread-safe: a statement belongs to its Session and must not be
+// executed concurrently with itself. Submit() hands the bound plan to the
+// database's async pool; the statement itself can be rebound immediately.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/query.h"
+#include "api/result.h"
+#include "common/status.h"
+
+namespace recycledb {
+
+class Session;
+
+class PreparedStatement {
+ public:
+  // ---- template inspection --------------------------------------------
+  const std::set<std::string>& parameters() const { return params_; }
+  const std::string& template_fingerprint() const { return fingerprint_; }
+  uint64_t template_hash() const { return hash_; }
+
+  /// Template tree plus the current bindings; used in error messages.
+  std::string Explain() const;
+
+  // ---- binding ---------------------------------------------------------
+  /// Binds `value` under `$name`. Fluent. Binding a name the template
+  /// does not declare is reported as an error by the next Execute.
+  PreparedStatement& Bind(const std::string& name, Datum value);
+  PreparedStatement& BindAll(const ParamMap& params);
+  void ClearBindings();
+  const ParamMap& bindings() const { return bound_; }
+
+  /// Substitutes the current bindings and validates, without executing.
+  /// On success `*out` receives the bound plan (template-hash tagged).
+  Status ToPlan(PlanPtr* out);
+
+  // ---- execution -------------------------------------------------------
+  /// Synchronous execution with the current bindings.
+  Result Execute();
+  /// BindAll + Execute in one call (bindings persist afterwards).
+  Result Execute(const ParamMap& params);
+  /// Asynchronous execution routed through the database's admission gate;
+  /// the returned future is fulfilled by a database worker thread.
+  std::future<Result> Submit();
+
+  /// Recycler-side aggregate over every execution of this template.
+  TemplateStats stats() const;
+
+ private:
+  friend class Session;
+  PreparedStatement(Session* session, PlanPtr template_plan);
+
+  Session* session_;
+  PlanPtr template_;
+  std::set<std::string> params_;
+  std::string fingerprint_;
+  uint64_t hash_ = 0;
+  ParamMap bound_;
+  /// Deferred error from a bad Bind call (unknown parameter name).
+  Status pending_error_;
+};
+
+}  // namespace recycledb

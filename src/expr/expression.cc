@@ -22,6 +22,13 @@ ExprPtr Expr::Literal(Datum value) {
   return e;
 }
 
+ExprPtr Expr::Param(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kParam;
+  e->name_ = std::move(name);
+  return e;
+}
+
 ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->kind_ = ExprKind::kCompare;
@@ -103,6 +110,8 @@ TypeId Expr::DeduceType(const Schema& input) const {
     }
     case ExprKind::kLiteral:
       return DatumType(literal_);
+    case ExprKind::kParam:
+      RDB_UNREACHABLE(("unbound parameter: $" + name_).c_str());
     case ExprKind::kCompare:
     case ExprKind::kLogical:
     case ExprKind::kInList:
@@ -141,6 +150,38 @@ void Expr::CollectColumns(std::set<std::string>* out) const {
   for (const auto& c : children_) c->CollectColumns(out);
 }
 
+void Expr::CollectParams(std::set<std::string>* out) const {
+  if (kind_ == ExprKind::kParam) {
+    out->insert(name_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectParams(out);
+}
+
+bool Expr::HasParams() const {
+  if (kind_ == ExprKind::kParam) return true;
+  for (const auto& c : children_) {
+    if (c->HasParams()) return true;
+  }
+  return false;
+}
+
+ExprPtr Expr::SubstituteParams(const ParamMap& params,
+                               std::vector<std::string>* missing) const {
+  if (kind_ == ExprKind::kParam) {
+    auto it = params.find(name_);
+    if (it == params.end()) {
+      if (missing != nullptr) missing->push_back(name_);
+      return shared_from_this();
+    }
+    return Literal(it->second);
+  }
+  if (!HasParams()) return shared_from_this();
+  auto e = std::shared_ptr<Expr>(new Expr(*this));
+  for (auto& c : e->children_) c = c->SubstituteParams(params, missing);
+  return e;
+}
+
 std::string Expr::Fingerprint(const NameMap* mapping,
                               bool anonymize_columns) const {
   switch (kind_) {
@@ -154,6 +195,8 @@ std::string Expr::Fingerprint(const NameMap* mapping,
     }
     case ExprKind::kLiteral:
       return "l:" + DatumToString(literal_);
+    case ExprKind::kParam:
+      return "$" + name_;
     case ExprKind::kCompare: {
       static const char* names[] = {"=", "!=", "<", "<=", ">", ">="};
       return StrFormat("(%s %s %s)",
@@ -225,6 +268,72 @@ ExprPtr Expr::Rename(const NameMap& mapping) const {
   return e;
 }
 
+std::string Expr::DisplayString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return name_;
+    case ExprKind::kLiteral:
+      return DatumToString(literal_);
+    case ExprKind::kParam:
+      return "$" + name_;
+    case ExprKind::kCompare: {
+      static const char* names[] = {"=", "!=", "<", "<=", ">", ">="};
+      return StrFormat("(%s %s %s)", children_[0]->DisplayString().c_str(),
+                       names[static_cast<int>(compare_op_)],
+                       children_[1]->DisplayString().c_str());
+    }
+    case ExprKind::kLogical: {
+      if (logical_op_ == LogicalOp::kNot) {
+        return "(NOT " + children_[0]->DisplayString() + ")";
+      }
+      const char* op = logical_op_ == LogicalOp::kAnd ? " AND " : " OR ";
+      return "(" + children_[0]->DisplayString() + op +
+             children_[1]->DisplayString() + ")";
+    }
+    case ExprKind::kArith: {
+      static const char* names[] = {"+", "-", "*", "/"};
+      return StrFormat("(%s %s %s)", children_[0]->DisplayString().c_str(),
+                       names[static_cast<int>(arith_op_)],
+                       children_[1]->DisplayString().c_str());
+    }
+    case ExprKind::kFunc: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->DisplayString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kCase:
+      return "CASE WHEN " + children_[0]->DisplayString() + " THEN " +
+             children_[1]->DisplayString() + " ELSE " +
+             children_[2]->DisplayString() + " END";
+    case ExprKind::kInList: {
+      std::string out = children_[0]->DisplayString() + " IN (";
+      for (size_t i = 0; i < in_values_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += DatumToString(in_values_[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike: {
+      switch (like_kind_) {
+        case LikeKind::kContains:
+          return children_[0]->DisplayString() + " LIKE '%" + name_ + "%'";
+        case LikeKind::kPrefix:
+          return children_[0]->DisplayString() + " LIKE '" + name_ + "%'";
+        case LikeKind::kSuffix:
+          return children_[0]->DisplayString() + " LIKE '%" + name_ + "'";
+        case LikeKind::kNotContains:
+          return children_[0]->DisplayString() + " NOT LIKE '%" + name_ +
+                 "%'";
+      }
+      RDB_UNREACHABLE("bad like kind");
+    }
+  }
+  RDB_UNREACHABLE("bad expr kind");
+}
+
 // ---------------------------------------------------------------------------
 // Evaluation
 // ---------------------------------------------------------------------------
@@ -281,6 +390,8 @@ ColumnPtr Expr::Eval(const Batch& batch, const Schema& input) const {
       for (int64_t i = 0; i < n; ++i) out->Append(literal_);
       return out;
     }
+    case ExprKind::kParam:
+      RDB_UNREACHABLE(("unbound parameter: $" + name_).c_str());
     case ExprKind::kCompare: {
       ColumnPtr l = children_[0]->Eval(batch, input);
       ColumnPtr r = children_[1]->Eval(batch, input);

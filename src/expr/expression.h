@@ -23,10 +23,14 @@ using ExprPtr = std::shared_ptr<const Expr>;
 /// recycler-graph names and back).
 using NameMap = std::map<std::string, std::string>;
 
+/// Bound values for named parameter placeholders ($name -> Datum).
+using ParamMap = std::map<std::string, Datum>;
+
 /// Expression node kinds.
 enum class ExprKind : uint8_t {
   kColumnRef,  // reference to an input column by name
   kLiteral,    // constant Datum
+  kParam,      // named placeholder ($name) awaiting a bound value
   kCompare,    // = != < <= > >=
   kLogical,    // AND OR NOT
   kArith,      // + - * /
@@ -52,6 +56,10 @@ class Expr : public std::enable_shared_from_this<Expr> {
   // ---- factories -----------------------------------------------------
   static ExprPtr Column(std::string name);
   static ExprPtr Literal(Datum value);
+  /// Named placeholder for a prepared-statement parameter. The expression
+  /// cannot be bound or evaluated until SubstituteParams replaces it with
+  /// a literal.
+  static ExprPtr Param(std::string name);
   static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
   static ExprPtr And(ExprPtr l, ExprPtr r);
   static ExprPtr Or(ExprPtr l, ExprPtr r);
@@ -73,6 +81,7 @@ class Expr : public std::enable_shared_from_this<Expr> {
   // ---- accessors ------------------------------------------------------
   ExprKind kind() const { return kind_; }
   const std::string& column_name() const { return name_; }
+  const std::string& param_name() const { return name_; }
   const Datum& literal() const { return literal_; }
   CompareOp compare_op() const { return compare_op_; }
   LogicalOp logical_op() const { return logical_op_; }
@@ -91,6 +100,19 @@ class Expr : public std::enable_shared_from_this<Expr> {
   /// Adds every referenced column name to `out`.
   void CollectColumns(std::set<std::string>* out) const;
 
+  /// Adds every parameter placeholder name to `out`.
+  void CollectParams(std::set<std::string>* out) const;
+
+  /// True if the tree contains at least one kParam node.
+  bool HasParams() const;
+
+  /// Returns a copy with each kParam replaced by the literal bound under
+  /// its name in `params`. Parameters missing from `params` are kept and
+  /// their names appended to `missing` (when non-null). Subtrees without
+  /// parameters are shared, not cloned.
+  ExprPtr SubstituteParams(const ParamMap& params,
+                           std::vector<std::string>* missing) const;
+
   /// Canonical structural rendering. Column names are passed through
   /// `mapping` when present (identity otherwise). Two expressions are
   /// considered parameter-equal by the recycler iff fingerprints match.
@@ -102,6 +124,11 @@ class Expr : public std::enable_shared_from_this<Expr> {
   /// Returns a copy with column refs renamed through `mapping` (names
   /// missing from the mapping are kept).
   ExprPtr Rename(const NameMap& mapping) const;
+
+  /// Human-readable infix rendering (columns bare, parameters as $name);
+  /// used by Plan::Explain and API error messages. Fingerprint() stays
+  /// the canonical matching form.
+  std::string DisplayString() const;
 
   // ---- evaluation -----------------------------------------------------
   /// Vectorized evaluation over a batch laid out per `input`.

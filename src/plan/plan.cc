@@ -53,6 +53,28 @@ PlanPtr PlanNode::FunctionScan(std::string function, std::vector<Datum> args) {
   return p;
 }
 
+PlanPtr PlanNode::FunctionScanTemplate(std::string function,
+                                       std::vector<ExprPtr> args) {
+  bool all_literal = true;
+  for (const auto& a : args) {
+    RDB_CHECK_MSG(a != nullptr && (a->kind() == ExprKind::kLiteral ||
+                                   a->kind() == ExprKind::kParam),
+                  "FunctionScanTemplate args must be literals or params");
+    all_literal = all_literal && a->kind() == ExprKind::kLiteral;
+  }
+  if (all_literal) {
+    std::vector<Datum> datums;
+    datums.reserve(args.size());
+    for (const auto& a : args) datums.push_back(a->literal());
+    return FunctionScan(std::move(function), std::move(datums));
+  }
+  PlanPtr p(new PlanNode());
+  p->type_ = OpType::kFunctionScan;
+  p->table_ = std::move(function);
+  p->arg_exprs_ = std::move(args);
+  return p;
+}
+
 PlanPtr PlanNode::Select(PlanPtr child, ExprPtr predicate) {
   PlanPtr p(new PlanNode());
   p->type_ = OpType::kSelect;
@@ -158,6 +180,9 @@ void PlanNode::Bind(const Catalog& catalog) {
       break;
     }
     case OpType::kFunctionScan: {
+      RDB_CHECK_MSG(arg_exprs_.empty(),
+                    "FunctionScan template has unresolved parameters; "
+                    "SubstituteParams must run before Bind");
       const TableFunction* fn = TableFunctionRegistry::Global().Get(table_);
       RDB_CHECK_MSG(fn != nullptr, ("unknown function: " + table_).c_str());
       output_schema_ = fn->schema_fn(args_);
@@ -270,9 +295,16 @@ std::string PlanNode::ParamFingerprint(const NameMap* mapping) const {
       return "scan:" + table_ + ":[" + Join(columns_, ",") + "]";
     case OpType::kFunctionScan: {
       std::string out = "fscan:" + table_ + "(";
-      for (size_t i = 0; i < args_.size(); ++i) {
-        if (i > 0) out += ",";
-        out += DatumToString(args_[i]);
+      if (!arg_exprs_.empty()) {
+        for (size_t i = 0; i < arg_exprs_.size(); ++i) {
+          if (i > 0) out += ",";
+          out += arg_exprs_[i]->Fingerprint(mapping);
+        }
+      } else {
+        for (size_t i = 0; i < args_.size(); ++i) {
+          if (i > 0) out += ",";
+          out += DatumToString(args_[i]);
+        }
       }
       return out + ")";
     }
@@ -442,6 +474,62 @@ std::vector<std::string> PlanNode::NewNames() const {
   return names;
 }
 
+bool PlanNode::HasParams() const {
+  if (!arg_exprs_.empty()) return true;
+  if (predicate_ != nullptr && predicate_->HasParams()) return true;
+  for (const auto& item : projections_) {
+    if (item.expr->HasParams()) return true;
+  }
+  for (const auto& a : aggregates_) {
+    if (a.arg->HasParams()) return true;
+  }
+  for (const auto& c : children_) {
+    if (c->HasParams()) return true;
+  }
+  return false;
+}
+
+void PlanNode::CollectParams(std::set<std::string>* out) const {
+  for (const auto& e : arg_exprs_) e->CollectParams(out);
+  if (predicate_ != nullptr) predicate_->CollectParams(out);
+  for (const auto& item : projections_) item.expr->CollectParams(out);
+  for (const auto& a : aggregates_) a.arg->CollectParams(out);
+  for (const auto& c : children_) c->CollectParams(out);
+}
+
+PlanPtr PlanNode::SubstituteParams(const ParamMap& params,
+                                   std::vector<std::string>* missing) {
+  if (!HasParams()) return shared_from_this();
+  PlanPtr p = CloneShallow();
+  if (p->predicate_ != nullptr) {
+    p->predicate_ = p->predicate_->SubstituteParams(params, missing);
+  }
+  for (auto& item : p->projections_) {
+    item.expr = item.expr->SubstituteParams(params, missing);
+  }
+  for (auto& a : p->aggregates_) {
+    a.arg = a.arg->SubstituteParams(params, missing);
+  }
+  if (!p->arg_exprs_.empty()) {
+    std::vector<Datum> datums;
+    bool all_literal = true;
+    for (auto& e : p->arg_exprs_) {
+      e = e->SubstituteParams(params, missing);
+      if (e->kind() == ExprKind::kLiteral) {
+        datums.push_back(e->literal());
+      } else {
+        all_literal = false;
+      }
+    }
+    if (all_literal) {
+      p->args_ = std::move(datums);
+      p->arg_exprs_.clear();
+    }
+  }
+  for (auto& c : p->children_) c = c->SubstituteParams(params, missing);
+  return p;
+}
+
 std::string PlanNode::TreeFingerprint() const {
   std::string out = ParamFingerprint(nullptr);
   if (!children_.empty()) {
@@ -458,6 +546,12 @@ std::string PlanNode::TreeFingerprint() const {
 PlanPtr PlanNode::CloneShallow() const {
   PlanPtr p(new PlanNode(*this));
   p->bound_ = false;
+  return p;
+}
+
+PlanPtr PlanNode::CloneDeep() const {
+  PlanPtr p = CloneShallow();
+  for (auto& c : p->children_) c = c->CloneDeep();
   return p;
 }
 
@@ -492,6 +586,89 @@ std::string PlanNode::ToString(int indent) const {
   os << "\n";
   for (const auto& c : children_) os << c->ToString(indent + 1);
   return os.str();
+}
+
+namespace {
+std::string ExprDisplay(const ExprPtr& e) { return e->DisplayString(); }
+}  // namespace
+
+std::string PlanNode::Explain(int indent) const {
+  std::string line;
+  switch (type_) {
+    case OpType::kScan:
+      line = StrFormat("Scan %s [%s]", table_.c_str(),
+                       Join(columns_, ", ").c_str());
+      break;
+    case OpType::kFunctionScan: {
+      line = "FunctionScan " + table_ + "(";
+      if (!arg_exprs_.empty()) {
+        for (size_t i = 0; i < arg_exprs_.size(); ++i) {
+          if (i > 0) line += ", ";
+          line += ExprDisplay(arg_exprs_[i]);
+        }
+      } else {
+        for (size_t i = 0; i < args_.size(); ++i) {
+          if (i > 0) line += ", ";
+          line += DatumToString(args_[i]);
+        }
+      }
+      line += ")";
+      break;
+    }
+    case OpType::kSelect:
+      line = "Filter " + ExprDisplay(predicate_);
+      break;
+    case OpType::kProject: {
+      line = "Project ";
+      for (size_t i = 0; i < projections_.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += projections_[i].out_name + " := " +
+                ExprDisplay(projections_[i].expr);
+      }
+      break;
+    }
+    case OpType::kAggregate: {
+      line = StrFormat("Aggregate group=[%s] ", Join(group_by_, ", ").c_str());
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += StrFormat("%s(%s) AS %s", AggFuncName(aggregates_[i].fn),
+                          ExprDisplay(aggregates_[i].arg).c_str(),
+                          aggregates_[i].out_name.c_str());
+      }
+      break;
+    }
+    case OpType::kHashJoin:
+      line = StrFormat("HashJoin %s [%s] = [%s]", JoinKindName(join_kind_),
+                       Join(left_keys_, ", ").c_str(),
+                       Join(right_keys_, ", ").c_str());
+      break;
+    case OpType::kOrderBy:
+    case OpType::kTopN: {
+      line = type_ == OpType::kTopN
+                 ? StrFormat("TopN n=%lld by ", (long long)limit_)
+                 : "OrderBy ";
+      for (size_t i = 0; i < sort_keys_.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += sort_keys_[i].column + (sort_keys_[i].ascending ? " asc"
+                                                                : " desc");
+      }
+      break;
+    }
+    case OpType::kLimit:
+      line = StrFormat("Limit %lld", (long long)limit_);
+      break;
+    case OpType::kUnionAll:
+      line = "UnionAll";
+      break;
+    case OpType::kCachedScan:
+      line = StrFormat("CachedScan rows=%lld [%s]",
+                       cached_ != nullptr ? (long long)cached_->num_rows() : 0,
+                       Join(columns_, ", ").c_str());
+      break;
+  }
+  std::string out = std::string(indent * 2, ' ') + line + "\n";
+  for (const auto& c : children_) out += c->Explain(indent + 1);
+  return out;
 }
 
 }  // namespace recycledb

@@ -65,11 +65,17 @@ using PlanPtr = std::shared_ptr<PlanNode>;
 /// Only the fields relevant to `type` are meaningful. Nodes are mutable
 /// while a plan is being constructed/rewritten and must be treated as
 /// immutable once handed to the recycler (rewrites clone).
-class PlanNode {
+class PlanNode : public std::enable_shared_from_this<PlanNode> {
  public:
   // ---- factories ------------------------------------------------------
   static PlanPtr Scan(std::string table, std::vector<std::string> columns);
   static PlanPtr FunctionScan(std::string function, std::vector<Datum> args);
+  /// FunctionScan whose arguments may contain Expr::Param placeholders.
+  /// Every arg must be a kLiteral or kParam expression. The node cannot be
+  /// bound until SubstituteParams resolves all args to literals; with
+  /// literal-only args this returns a plain FunctionScan immediately.
+  static PlanPtr FunctionScanTemplate(std::string function,
+                                      std::vector<ExprPtr> args);
   static PlanPtr Select(PlanPtr child, ExprPtr predicate);
   static PlanPtr Project(PlanPtr child, std::vector<ProjItem> items);
   static PlanPtr Aggregate(PlanPtr child, std::vector<std::string> group_by,
@@ -96,6 +102,9 @@ class PlanNode {
   const std::vector<std::string>& scan_columns() const { return columns_; }
   const std::string& function_name() const { return table_; }
   const std::vector<Datum>& function_args() const { return args_; }
+  /// Unresolved function args of a template FunctionScan (empty once
+  /// SubstituteParams has resolved them into function_args()).
+  const std::vector<ExprPtr>& function_arg_exprs() const { return arg_exprs_; }
   const ExprPtr& predicate() const { return predicate_; }
   const std::vector<ProjItem>& projections() const { return projections_; }
   const std::vector<std::string>& group_by() const { return group_by_; }
@@ -116,8 +125,38 @@ class PlanNode {
   // ---- binding ----------------------------------------------------------
   /// Resolves output schemas bottom-up and validates column references.
   /// Idempotent. RDB_CHECK-fails on invalid plans (programmer error: plans
-  /// are produced by our own generators).
+  /// are produced by our own generators). Embedders building plans through
+  /// the public API get recoverable Status errors from ValidatePlan
+  /// (api/validate.h) before this runs.
   void Bind(const Catalog& catalog);
+
+  // ---- parameterized templates ------------------------------------------
+  /// True if any expression in this subtree contains a parameter
+  /// placeholder (or a template FunctionScan with unresolved args).
+  bool HasParams() const;
+
+  /// Adds every parameter placeholder name in the subtree to `out`.
+  void CollectParams(std::set<std::string>* out) const;
+
+  /// Returns this plan with parameters replaced by the literals bound in
+  /// `params`. Parameter-free subtrees are shared (not cloned), so
+  /// repeated rebinding of the same template only re-creates the
+  /// parameterized spine. Unbound names are appended to `missing`.
+  PlanPtr SubstituteParams(const ParamMap& params,
+                           std::vector<std::string>* missing);
+
+  /// Canonical fingerprint of a (possibly parameterized) template:
+  /// parameters render as $name, so every binding of one template yields
+  /// the same fingerprint. PreparedStatement hashes this once at Prepare;
+  /// the hash rides on bound plans (template_hash) and lets the recycler
+  /// attribute reuse to the template cheaply.
+  std::string TemplateFingerprint() const { return TreeFingerprint(); }
+
+  /// Template identity tag (0 = none). Set on bound plans produced from a
+  /// PreparedStatement; propagated by CloneShallow/WithChildren, read by
+  /// Recycler::Prepare into QueryTrace::template_hash.
+  uint64_t template_hash() const { return template_hash_; }
+  void set_template_hash(uint64_t h) { template_hash_ = h; }
 
   // ---- recycler support ---------------------------------------------------
   /// Fingerprint of this node's *parameters only* (not children), with
@@ -150,6 +189,11 @@ class PlanNode {
   /// Shallow copy (children shared). Clears binding on the copy.
   PlanPtr CloneShallow() const;
 
+  /// Deep copy of the whole tree (expressions still shared — they are
+  /// immutable). Used by the async facade so concurrent submissions of
+  /// one Query never race on Bind's schema writes.
+  PlanPtr CloneDeep() const;
+
   /// Shallow copy with `children` substituted (used by rewrites).
   PlanPtr WithChildren(std::vector<PlanPtr> new_children) const;
 
@@ -162,6 +206,11 @@ class PlanNode {
   /// Pretty multi-line plan rendering.
   std::string ToString(int indent = 0) const;
 
+  /// Human-readable indented operator tree with parameters ($name for
+  /// unbound placeholders). Used by Query::Explain / Statement::Explain
+  /// and by API error messages.
+  std::string Explain(int indent = 0) const;
+
  private:
   PlanNode() = default;
 
@@ -171,6 +220,8 @@ class PlanNode {
   std::string table_;                  // scan table / function name
   std::vector<std::string> columns_;   // scan column list / cached col names
   std::vector<Datum> args_;            // function args
+  std::vector<ExprPtr> arg_exprs_;     // template function args (unresolved)
+  uint64_t template_hash_ = 0;         // prepared-statement template tag
   ExprPtr predicate_;                  // select
   std::vector<ProjItem> projections_;  // project
   std::vector<std::string> group_by_;  // aggregate

@@ -1,0 +1,10 @@
+// Compiling this TU (just the umbrella include) as part of the library
+// guarantees the public header builds standalone under -Wall (-Werror in
+// CI) with no missing transitive includes.
+#include "recycledb/recycledb.h"
+
+namespace recycledb {
+
+const char* RecycleDBVersion() { return "recycledb 0.3 (PR 3: public API)"; }
+
+}  // namespace recycledb

@@ -1,0 +1,34 @@
+// recycledb: public umbrella header for the embeddable engine.
+//
+// This is the ONLY header examples, benchmarks and embedders include.
+// It exposes:
+//   - Database / Session / Query / PreparedStatement / Result (api/)
+//   - Expr & plan building blocks the fluent builder composes
+//   - the multi-stream workload driver (workload/)
+//   - the bundled workload generators (tpch/, skyserver/) and the
+//     keep-all comparison baseline (baseline/)
+//
+// The header must always compile standalone under -Wall -Werror; the
+// build compiles src/recycledb/recycledb.cc (exactly this include) as
+// part of the library to enforce that.
+#pragma once
+
+#include "api/database.h"
+#include "api/query.h"
+#include "api/result.h"
+#include "api/session.h"
+#include "api/statement.h"
+#include "api/validate.h"
+#include "baseline/keepall.h"
+#include "common/rng.h"
+#include "skyserver/skyserver.h"
+#include "tpch/dbgen.h"
+#include "tpch/qgen.h"
+#include "workload/driver.h"
+
+namespace recycledb {
+
+/// Library version string (PR-granular; examples print it).
+const char* RecycleDBVersion();
+
+}  // namespace recycledb

@@ -701,6 +701,12 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
   auto prepared = std::make_unique<PreparedQuery>();
   prepared->query_id_ = next_query_id_.fetch_add(1);
   prepared->trace_.query_id = prepared->query_id_;
+  prepared->trace_.template_hash = plan->template_hash();
+  if (prepared->trace_.template_hash != 0) {
+    std::lock_guard<std::mutex> lock(template_mu_);
+    prepared->trace_.template_prior_runs =
+        template_stats_[prepared->trace_.template_hash].executions;
+  }
   plan->Bind(*catalog_);
 
   if (config_.mode == RecyclerMode::kOff) {
@@ -798,6 +804,15 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
 
 void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
   counters_.queries.fetch_add(1);
+  if (prepared->trace_.template_hash != 0) {
+    std::lock_guard<std::mutex> lock(template_mu_);
+    TemplateStats& ts = template_stats_[prepared->trace_.template_hash];
+    ++ts.executions;
+    ts.reuses += prepared->trace_.num_reuses;
+    ts.subsumption_reuses += prepared->trace_.num_subsumption_reuses;
+    ts.materializations += prepared->trace_.num_materialized;
+    ts.total_ms += result.total_ms;
+  }
   if (config_.mode == RecyclerMode::kOff) return;
 
   // Annotation writes are atomic per-field; the shared lock only pins the
@@ -834,6 +849,17 @@ void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
                    EstRowWidth(gnode->output_types)));
     }
   }
+}
+
+TemplateStats Recycler::TemplateStatsFor(uint64_t template_hash) const {
+  std::lock_guard<std::mutex> lock(template_mu_);
+  auto it = template_stats_.find(template_hash);
+  return it == template_stats_.end() ? TemplateStats{} : it->second;
+}
+
+std::map<uint64_t, TemplateStats> Recycler::TemplateStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(template_mu_);
+  return template_stats_;
 }
 
 ExecResult Recycler::Execute(const PlanPtr& query_plan, QueryTrace* trace_out) {

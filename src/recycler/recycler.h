@@ -54,6 +54,11 @@ struct RecyclerConfig {
 /// Per-query observability record (drives Fig. 9 traces and Fig. 10).
 struct QueryTrace {
   int64_t query_id = 0;
+  /// Identity of the prepared-statement template this query was bound
+  /// from (0 = ad-hoc query). Copied from PlanNode::template_hash.
+  uint64_t template_hash = 0;
+  /// Prior executions of the same template (before this query).
+  int64_t template_prior_runs = 0;
   int num_reuses = 0;              // cached results consumed
   int num_subsumption_reuses = 0;  // of which via subsumption
   int num_materialized = 0;        // results added to the cache
@@ -63,6 +68,17 @@ struct QueryTrace {
   double match_ms = 0;             // matching + insertion cost (Fig. 10)
   double stall_ms = 0;
   int64_t graph_nodes_at_match = 0;
+};
+
+/// Reuse accounting aggregated per prepared-statement template: the unit
+/// the paper's workloads share at (§V — queries differing only in
+/// constants). Keyed by PlanNode::template_hash.
+struct TemplateStats {
+  int64_t executions = 0;
+  int64_t reuses = 0;
+  int64_t subsumption_reuses = 0;
+  int64_t materializations = 0;
+  double total_ms = 0;
 };
 
 /// Aggregate counters across all queries (reported by benches).
@@ -156,6 +172,12 @@ class Recycler {
   /// descendants. Caller holds a lock on graph().mutex().
   double TrueCost(const RGNode* node) const;
 
+  /// Per-template reuse stats for `template_hash` (zeroes if unseen).
+  TemplateStats TemplateStatsFor(uint64_t template_hash) const;
+
+  /// Snapshot of all template-level stats (hash -> aggregate).
+  std::map<uint64_t, TemplateStats> TemplateStatsSnapshot() const;
+
   RecyclerGraph& graph() { return graph_; }
   RecyclerCache& cache() { return cache_; }
   const RecyclerConfig& config() const { return config_; }
@@ -217,6 +239,10 @@ class Recycler {
   /// Lock order: graph mutex -> cache_mu_ -> mat shard mutex.
   mutable std::mutex cache_mu_;
   RecyclerCache cache_;
+  /// Guards template_stats_ (independent of the graph/cache locks; taken
+  /// last and never while holding them longer than the map update).
+  mutable std::mutex template_mu_;
+  std::map<uint64_t, TemplateStats> template_stats_;
   Executor executor_;
   RecyclerCounters counters_;
   std::atomic<int64_t> next_query_id_{1};

@@ -111,6 +111,7 @@ void Setup(int64_t num_objects, Catalog* catalog, uint64_t seed) {
   fn.schema_fn = [](const std::vector<Datum>&) { return NearbySchema(); };
   fn.eval_fn = EvalNearby;
   fn.base_tables = {"photoprimary"};
+  fn.arg_types = {TypeId::kDouble, TypeId::kDouble, TypeId::kDouble};
   TableFunctionRegistry::Global().Register(fn);
 }
 
@@ -156,6 +157,33 @@ std::vector<SkyQuery> GenerateWorkload(int num_queries, Rng* rng,
     workload.push_back(std::move(q));
   }
   return workload;
+}
+
+Query ConeSearchTemplate(std::vector<std::string> columns, int64_t limit) {
+  Query nearby = Query::FunctionScan(
+      "fGetNearbyObjEq",
+      {Expr::Param("ra"), Expr::Param("dec"), Expr::Param("radius")});
+  Query photo = Query::Scan("photoprimary", std::move(columns));
+  return nearby
+      .Join(photo, JoinKind::kInner, {"nearby_objID"}, {"objID"})
+      .Limit(limit);
+}
+
+std::vector<workload::StreamSpec> MakeStreams(int num_streams,
+                                              int queries_per_stream,
+                                              uint64_t seed) {
+  std::vector<workload::StreamSpec> streams;
+  streams.reserve(num_streams);
+  for (int s = 0; s < num_streams; ++s) {
+    Rng rng(seed + static_cast<uint64_t>(s) * 7919ULL);
+    workload::StreamSpec spec;
+    for (auto& q : GenerateWorkload(queries_per_stream, &rng)) {
+      spec.labels.push_back(q.dominant ? "sky-dom" : "sky-var");
+      spec.plans.push_back(std::move(q.plan));
+    }
+    streams.push_back(std::move(spec));
+  }
+  return streams;
 }
 
 }  // namespace skyserver

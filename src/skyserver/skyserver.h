@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/query.h"
 #include "common/rng.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
+#include "workload/driver.h"
 
 namespace recycledb {
 namespace skyserver {
@@ -38,6 +40,22 @@ struct SkyQuery {
 /// computation of fGetNearbyObjEq(195, 2.5, 0.5)").
 std::vector<SkyQuery> GenerateWorkload(int num_queries, Rng* rng,
                                        double dominant_fraction = 0.7);
+
+/// The dominant pattern as a parameterized facade template:
+///   SELECT p.<columns> FROM fGetNearbyObjEq($ra, $dec, $radius) n,
+///          photoprimary p WHERE n.objID = p.objID LIMIT limit
+/// Prepare it once, rebind the cone per request — exactly the shape the
+/// portal's query log has (§V: most requests repeat identical constants).
+Query ConeSearchTemplate(std::vector<std::string> columns = {
+                             "objID", "run", "rerun", "camcol", "field",
+                             "obj", "type"},
+                         int64_t limit = 10);
+
+/// Driver-ready SkyServer streams drawn from the synthetic log generator
+/// (dominant exact repeats + variants sharing the cone search).
+std::vector<workload::StreamSpec> MakeStreams(int num_streams,
+                                              int queries_per_stream,
+                                              uint64_t seed = 42);
 
 }  // namespace skyserver
 }  // namespace recycledb

@@ -189,5 +189,22 @@ std::vector<StreamQuery> GenerateStream(int stream_id, Rng* rng,
   return stream;
 }
 
+std::vector<workload::StreamSpec> MakeStreams(int num_streams,
+                                              double scale_factor,
+                                              uint64_t seed) {
+  std::vector<workload::StreamSpec> streams;
+  streams.reserve(num_streams);
+  for (int s = 0; s < num_streams; ++s) {
+    Rng rng(seed + static_cast<uint64_t>(s) * 1000003ULL);
+    workload::StreamSpec spec;
+    for (const auto& q : GenerateStream(s, &rng, scale_factor)) {
+      spec.labels.push_back("Q" + std::to_string(q.query));
+      spec.plans.push_back(BuildQuery(q.query, q.params, scale_factor));
+    }
+    streams.push_back(std::move(spec));
+  }
+  return streams;
+}
+
 }  // namespace tpch
 }  // namespace recycledb

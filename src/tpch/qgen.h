@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "tpch/queries.h"
+#include "workload/driver.h"
 
 namespace recycledb {
 namespace tpch {
@@ -23,6 +24,14 @@ struct StreamQuery {
 };
 std::vector<StreamQuery> GenerateStream(int stream_id, Rng* rng,
                                         double scale_factor);
+
+/// Driver-ready throughput-test streams: `num_streams` spec-conformant
+/// permutation streams with fresh parameters, seeded per stream so every
+/// recycler mode replays the identical workload. The facade-level entry
+/// point examples and benches share.
+std::vector<workload::StreamSpec> MakeStreams(int num_streams,
+                                              double scale_factor,
+                                              uint64_t seed = 77);
 
 }  // namespace tpch
 }  // namespace recycledb

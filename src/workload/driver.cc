@@ -2,45 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <mutex>
 
+#include "api/database.h"
+#include "common/admission.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace recycledb {
 namespace workload {
-
-namespace {
-
-/// Counting semaphore bounding concurrently executing queries (C++17 has
-/// no std::counting_semaphore).
-class ExecutionGate {
- public:
-  explicit ExecutionGate(int slots) : slots_(slots) {}
-
-  void Acquire() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return slots_ > 0; });
-    --slots_;
-  }
-
-  void Release() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++slots_;
-    }
-    cv_.notify_one();
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int slots_;
-};
-
-}  // namespace
 
 double RunReport::AvgStreamMs() const {
   if (stream_ms.empty()) return 0;
@@ -115,7 +86,7 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
                     : std::min<int>(max_concurrent,
                                     static_cast<int>(streams.size()));
   threads = std::max(1, threads);
-  ExecutionGate gate(max_concurrent);
+  AdmissionGate gate(max_concurrent);
 
   Stopwatch run_sw;
   {
@@ -174,6 +145,27 @@ RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
   options.max_concurrent = max_concurrent;
   WorkloadDriver driver(recycler, options);
   return driver.Run(std::move(streams));
+}
+
+RunReport RunStreams(Database* db, std::vector<StreamSpec> streams,
+                     int max_concurrent) {
+  return RunStreams(&db->recycler(), std::move(streams), max_concurrent);
+}
+
+StreamSpec MakeStatementStream(PreparedStatement* statement,
+                               const std::vector<ParamMap>& bindings,
+                               const std::string& label) {
+  StreamSpec spec;
+  for (const auto& b : bindings) {
+    statement->ClearBindings();
+    statement->BindAll(b);
+    PlanPtr plan;
+    Status st = statement->ToPlan(&plan);
+    RDB_CHECK_MSG(st.ok(), st.ToString().c_str());
+    spec.labels.push_back(label);
+    spec.plans.push_back(std::move(plan));
+  }
+  return spec;
 }
 
 std::string FormatTrace(const RunReport& report) {

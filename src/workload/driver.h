@@ -11,9 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "api/statement.h"
 #include "recycler/recycler.h"
 
 namespace recycledb {
+
+class Database;
+
 namespace workload {
 
 /// One query stream: an ordered list of (label, plan) pairs executed
@@ -113,6 +117,18 @@ class WorkloadDriver {
 /// Convenience wrapper: one-shot run with the given execution bound.
 RunReport RunStreams(Recycler* recycler, std::vector<StreamSpec> streams,
                      int max_concurrent = 12);
+
+/// Facade overload: runs against the Database's recycler.
+RunReport RunStreams(Database* db, std::vector<StreamSpec> streams,
+                     int max_concurrent = 12);
+
+/// Builds a stream that executes `statement` once per binding set — the
+/// paper's template workloads (one pattern, many constants) expressed
+/// through the public API. Plans are bound and validated up front;
+/// invalid bindings RDB_CHECK-fail (stream construction is builder-time).
+StreamSpec MakeStatementStream(PreparedStatement* statement,
+                               const std::vector<ParamMap>& bindings,
+                               const std::string& label);
 
 /// Formats a Fig. 9-style trace of `report` (who materialized / reused /
 /// stalled, per stream and query).
