@@ -1,6 +1,14 @@
-// Ablation D: subsumption on/off (§IV-A) on an overlap-heavy workload:
-// top-N paging, conjunct-refining selections, and roll-up aggregations —
-// none of which exact matching alone can serve.
+// Ablation D: subsumption off / single-superset ("subsume") / partial-range
+// stitching ("partial") on an overlap-heavy workload: top-N paging,
+// conjunct-refining selections, roll-up aggregations, and an
+// overlapping-range sweep — the sweep is where single-superset subsumption
+// still misses (no cached slice covers the whole window) and partial
+// stitching converts near-miss overlap into reuse.
+//
+// JSON (RECYCLEDB_JSON_OUT): one row per mode with reuse counters and
+// hit-rate. The binary exits nonzero unless the partial mode's reuse
+// hit-rate is STRICTLY higher than the subsume mode's — a regression gate
+// for the partial-reuse engine.
 #include "bench_util.h"
 
 using namespace recycledb;
@@ -33,6 +41,26 @@ PlanPtr RollupQuery(bool coarse) {
        {AggFunc::kCount, Expr::Column("v"), "cv"}});
 }
 
+PlanPtr RangeQuery(double lo, double hi) {
+  // Sliding-window range selection (the partial-reuse beneficiary:
+  // consecutive windows overlap but no single cached slice covers them).
+  return PlanNode::Select(
+      PlanNode::Scan("f", {"a", "b", "v"}),
+      Expr::And(Expr::Ge(Expr::Column("v"), Expr::Literal(lo)),
+                Expr::Lt(Expr::Column("v"), Expr::Literal(hi))));
+}
+
+struct ModeResult {
+  double total_ms = 0;
+  int64_t queries = 0;
+  int64_t reuses = 0;
+  int64_t subsumption_reuses = 0;
+  int64_t partial_reuses = 0;
+  double HitRate() const {
+    return queries == 0 ? 0 : static_cast<double>(reuses) / queries;
+  }
+};
+
 }  // namespace
 
 int main() {
@@ -48,14 +76,27 @@ int main() {
   }
   if (!catalog.RegisterTable("f", t).ok()) return 1;
 
-  PrintHeader("Ablation D: subsumption on/off, overlap-heavy workload");
-  std::printf("%6s %12s %10s %16s\n", "subsm", "total(ms)", "reuses",
-              "via-subsumption");
+  PrintHeader("Ablation D: subsumption off/subsume/partial, overlap-heavy "
+              "workload");
+  std::printf("%8s %12s %10s %10s %10s %10s\n", "mode", "total(ms)", "reuses",
+              "subsumed", "stitched", "hit-rate");
 
-  for (bool enabled : {false, true}) {
+  struct Mode {
+    const char* name;
+    bool subsumption;
+    bool partial;
+  };
+  const Mode modes[3] = {{"off", false, false},
+                         {"subsume", true, false},
+                         {"partial", true, true}};
+  ModeResult results[3];
+  JsonResultSink sink;
+
+  for (int mi = 0; mi < 3; ++mi) {
     RecyclerConfig cfg;
     cfg.mode = RecyclerMode::kSpeculation;
-    cfg.enable_subsumption = enabled;
+    cfg.enable_subsumption = modes[mi].subsumption;
+    cfg.enable_partial_reuse = modes[mi].partial;
     auto db = MakeDatabase(catalog, cfg);
     Rng wl(7);
     Stopwatch sw;
@@ -65,16 +106,62 @@ int main() {
         PlanNode::Scan("f", {"a", "b", "v"}),
         Expr::Gt(Expr::Column("v"), Expr::Literal(9000.0))));
     db->Execute(RollupQuery(false));
-    // Then 60 queries all derivable from those three.
+    // 60 queries derivable from those three by single-superset rules.
     for (int i = 0; i < 20; ++i) db->Execute(PageQuery(wl.Uniform(10, 500)));
     for (int i = 0; i < 20; ++i) db->Execute(RefineQuery(wl.Uniform(0, 14)));
     for (int i = 0; i < 20; ++i) db->Execute(RollupQuery(true));
-    std::printf("%6s %12.1f %10lld %16lld\n", enabled ? "on" : "off",
-                sw.ElapsedMs(), (long long)db->counters().reuses.load(),
-                (long long)db->counters().subsumption_reuses.load());
+    // Overlapping-range sweep: 30 sliding windows of width 1500 stepping
+    // by 250 — every window overlaps its predecessors, none is contained
+    // in a single earlier one, so only stitching can serve them.
+    for (int i = 0; i < 30; ++i) {
+      double lo = 250.0 * i;
+      db->Execute(RangeQuery(lo, lo + 1500.0));
+    }
+
+    ModeResult& r = results[mi];
+    r.total_ms = sw.ElapsedMs();
+    r.queries = db->counters().queries.load();
+    r.reuses = db->counters().reuses.load();
+    r.subsumption_reuses = db->counters().subsumption_reuses.load();
+    r.partial_reuses = db->counters().partial_reuses.load();
+    std::printf("%8s %12.1f %10lld %10lld %10lld %9.1f%%\n", modes[mi].name,
+                r.total_ms, (long long)r.reuses,
+                (long long)r.subsumption_reuses, (long long)r.partial_reuses,
+                100 * r.HitRate());
     std::fflush(stdout);
+
+    JsonObject row;
+    row.Set("bench", "ablation_subsumption")
+        .Set("mode", modes[mi].name)
+        .Set("total_ms", r.total_ms)
+        .Set("queries", r.queries)
+        .Set("reuses", r.reuses)
+        .Set("subsumption_reuses", r.subsumption_reuses)
+        .Set("partial_reuses", r.partial_reuses)
+        .Set("hit_rate", r.HitRate());
+    sink.Add(row);
   }
+
+  std::string json_path = sink.WriteEnvPath();
+  if (!json_path.empty()) {
+    std::printf("\nJSON results written to %s\n", json_path.c_str());
+  }
+
   std::printf("\nExpected: subsumption converts the derivable queries into "
-              "reuses and cuts total time.\n");
+              "reuses; partial stitching additionally serves the "
+              "overlapping-range sweep.\n");
+
+  // Regression gate: stitching must strictly raise the reuse hit-rate
+  // over single-superset subsumption on this workload.
+  if (results[2].HitRate() <= results[1].HitRate()) {
+    std::fprintf(stderr,
+                 "FAIL: partial hit-rate %.3f not above subsume %.3f\n",
+                 results[2].HitRate(), results[1].HitRate());
+    return 1;
+  }
+  if (results[2].partial_reuses <= 0) {
+    std::fprintf(stderr, "FAIL: no partial reuses recorded\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links point at files that exist.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Scans inline links/images `[text](target)` in each file and fails (exit
+1) when a relative target — after stripping any #fragment — does not
+exist relative to the file's directory. External (http/https/mailto)
+links and pure-fragment links are skipped; checking their reachability
+is not this script's job. CI runs this over README.md, DESIGN.md,
+ROADMAP.md and docs/.
+"""
+import os
+import re
+import sys
+
+# Inline markdown links/images. Deliberately simple: no nested parens in
+# targets (we do not use any), no reference-style links.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: str) -> list:
+    errors = []
+    text = open(path, encoding="utf-8").read()
+    # Ignore fenced code blocks: they hold ASCII diagrams and examples.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+        if resolved.startswith(".."):
+            # Escapes the repository: a GitHub-site-relative URL (e.g. the
+            # CI badge's ../../actions/... path), not a file link.
+            continue
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link '{target}' -> {resolved}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} files, no broken relative links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,6 +35,11 @@ Status ValidateRecyclerConfig(const RecyclerConfig& config) {
         StrFormat("speculation_buffer_cap must be positive (got %lld)",
                   (long long)config.speculation_buffer_cap));
   }
+  if (config.partial_min_cover < 0.0 || config.partial_min_cover > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("partial_min_cover must be in [0, 1] (got %g)",
+                  config.partial_min_cover));
+  }
   if (config.proactive_topn_limit <= 0) {
     return Status::InvalidArgument(
         StrFormat("proactive_topn_limit must be positive (got %lld)",

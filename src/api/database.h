@@ -44,6 +44,9 @@ struct DatabaseOptions {
 /// (cache disabled) and cache_bytes < 0 (unlimited) are both valid.
 Status ValidateRecyclerConfig(const RecyclerConfig& config);
 
+/// The embeddable engine facade: owns the catalog, the recycler, the
+/// async worker pool and the admission gate. Thread-safe; one Database
+/// is shared by all of its Sessions.
 class Database {
  public:
   /// Validates `options` and constructs the engine. On failure `*out` is
@@ -53,9 +56,12 @@ class Database {
   /// Convenience for tools and benches: aborts on invalid options.
   static std::unique_ptr<Database> OpenOrDie(DatabaseOptions options = {});
 
+  /// Drains the async pool, then tears down the engine. Sessions must
+  /// already be gone.
   ~Database();
 
   // ---- schema ----------------------------------------------------------
+  /// Registers `table` under `name`; AlreadyExists if the name is taken.
   Status CreateTable(const std::string& name, TablePtr table);
   /// Replaces a table and invalidates every cached result depending on it
   /// (the paper's update-commit semantics).
@@ -68,15 +74,18 @@ class Database {
   /// Opens a client session. Sessions must not outlive the Database.
   std::unique_ptr<Session> Connect(SessionOptions options = {});
 
+  /// Query-builder root: base-table scan (see Query::Scan).
   Query Scan(std::string table, std::vector<std::string> columns) {
     return Query::Scan(std::move(table), std::move(columns));
   }
+  /// Query-builder root: table-function scan (see Query::FunctionScan).
   Query FunctionScan(std::string function, std::vector<ExprPtr> args) {
     return Query::FunctionScan(std::move(function), std::move(args));
   }
 
   /// One-shot execution on the built-in default session.
   Result Execute(const Query& query) { return default_session_->Execute(query); }
+  /// One-shot raw-plan execution on the default session (generators).
   Result Execute(PlanPtr plan) {
     return default_session_->Execute(std::move(plan));
   }
@@ -87,15 +96,24 @@ class Database {
   }
 
   // ---- cache control ---------------------------------------------------
+  /// Evicts every cached result depending on `table` (update commit).
   void InvalidateTable(const std::string& table);
+  /// Evicts everything from the recycler cache (simulated refresh).
   void FlushCache();
+  /// Removes recycler-graph subtrees idle for `idle_epochs` invocations;
+  /// returns the number of nodes removed (see Recycler::TruncateGraph).
   int64_t TruncateGraph(int64_t idle_epochs);
 
   // ---- observability ---------------------------------------------------
+  /// Snapshot of recycler-graph size and cache footprint.
   GraphStats graph_stats() { return recycler_.graph().Stats(); }
+  /// Global recycler counters (atomic; read at any time).
   const RecyclerCounters& counters() const { return recycler_.counters(); }
+  /// The validated recycler configuration in effect.
   const RecyclerConfig& config() const { return recycler_.config(); }
+  /// The options this Database was opened with.
   const DatabaseOptions& options() const { return options_; }
+  /// Per-template reuse aggregate for `template_hash` (zeroes if unseen).
   TemplateStats StatsForTemplate(uint64_t template_hash) const {
     return recycler_.TemplateStatsFor(template_hash);
   }

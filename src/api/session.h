@@ -41,15 +41,26 @@ struct SessionOptions {
 
 /// Session-local aggregate statistics.
 struct SessionStats {
+  /// Queries executed through this session (including failures).
   int64_t queries = 0;
+  /// Queries rejected by validation or failed in execution.
   int64_t errors = 0;
+  /// Cached results consumed (exact + subsumed + stitched).
   int64_t reuses = 0;
+  /// Reuses derived via single-superset subsumption.
   int64_t subsumption_reuses = 0;
+  /// Reuses answered by partial-range stitching.
+  int64_t partial_reuses = 0;
+  /// Results this session's queries added to the cache.
   int64_t materializations = 0;
+  /// Waits on another stream's in-flight materialization.
   int64_t stalls = 0;
+  /// Total execution time across this session's queries.
   double total_ms = 0;
 };
 
+/// A per-client handle onto a shared Database (see the file comment for
+/// the threading and lifetime contract).
 class Session {
  public:
   /// Blocks until every async Submit issued through this session has
@@ -57,9 +68,11 @@ class Session {
   ~Session();
 
   // ---- query building --------------------------------------------------
+  /// Query-builder root: base-table scan (see Query::Scan).
   Query Scan(std::string table, std::vector<std::string> columns) const {
     return Query::Scan(std::move(table), std::move(columns));
   }
+  /// Query-builder root: table-function scan (see Query::FunctionScan).
   Query FunctionScan(std::string function, std::vector<ExprPtr> args) const {
     return Query::FunctionScan(std::move(function), std::move(args));
   }
@@ -69,11 +82,12 @@ class Session {
   Result Execute(const Query& query);
   /// Executes a raw plan (workload generators).
   Result Execute(PlanPtr plan);
-  /// Async variants routed through the database admission gate. The
-  /// Query overload deep-clones the plan so the same Query object can be
-  /// submitted concurrently; the PlanPtr overload transfers ownership
-  /// (do not submit one unbound plan object twice).
+  /// Async execution routed through the database admission gate. Deep-
+  /// clones the plan so the same Query object can be submitted
+  /// concurrently.
   std::future<Result> Submit(const Query& query);
+  /// Async raw-plan variant; transfers ownership of `plan` (do not
+  /// submit one unbound plan object twice).
   std::future<Result> Submit(PlanPtr plan);
 
   /// Compiles a (possibly parameterized) query into a prepared statement
@@ -84,10 +98,13 @@ class Session {
                                              Status* status = nullptr);
 
   // ---- observability ---------------------------------------------------
+  /// Snapshot of this session's aggregate statistics.
   SessionStats stats() const;
   /// Most recent traces, oldest first (empty if collect_traces is off).
   std::vector<QueryTrace> traces() const;
+  /// The options this session was opened with.
   const SessionOptions& options() const { return options_; }
+  /// The owning Database.
   Database* database() const { return db_; }
 
  private:

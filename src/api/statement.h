@@ -27,11 +27,17 @@ namespace recycledb {
 
 class Session;
 
+/// A compiled, reusable query template with named `$name` parameters
+/// (see the file comment for the template/recycler relationship and the
+/// threading contract).
 class PreparedStatement {
  public:
   // ---- template inspection --------------------------------------------
+  /// Names of the parameters the template declares.
   const std::set<std::string>& parameters() const { return params_; }
+  /// Canonical binding-independent rendering of the template.
   const std::string& template_fingerprint() const { return fingerprint_; }
+  /// Hash of template_fingerprint(); the recycler's TemplateStats key.
   uint64_t template_hash() const { return hash_; }
 
   /// Template tree plus the current bindings; used in error messages.
@@ -41,8 +47,11 @@ class PreparedStatement {
   /// Binds `value` under `$name`. Fluent. Binding a name the template
   /// does not declare is reported as an error by the next Execute.
   PreparedStatement& Bind(const std::string& name, Datum value);
+  /// Binds every entry of `params`. Fluent.
   PreparedStatement& BindAll(const ParamMap& params);
+  /// Drops every current binding (and any deferred binding error).
   void ClearBindings();
+  /// The currently bound parameter values.
   const ParamMap& bindings() const { return bound_; }
 
   /// Substitutes the current bindings and validates, without executing.

@@ -26,6 +26,9 @@
 #include "tpch/qgen.h"
 #include "workload/driver.h"
 
+/// recycledb: an embeddable vector-at-a-time query engine whose
+/// recycler caches intermediate and final results and rewrites incoming
+/// plans to reuse them (ICDE 2013 reproduction).
 namespace recycledb {
 
 /// Library version string (PR-granular; examples print it).

@@ -1,0 +1,146 @@
+// Interval index for partial-reuse subsumption (range stitching).
+//
+// Cached selection slices whose predicates carry a single-column range
+// (e.g. `10 < x AND x < 50` plus arbitrary non-range conjuncts) are
+// indexed per (child graph-node, column). An incoming range selection
+// over the same child then finds every overlapping cached slice with an
+// interval query instead of a linear scan over the child's parents, and
+// the stitching rewriter (TryPartialStitch, subsumption.h) answers the
+// query from the union of the overlapping slices plus compensated delta
+// scans over the uncovered remainder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace recycledb {
+
+struct RGNode;
+
+/// One end of a (possibly half-open or unbounded) column interval.
+struct RangeBound {
+  /// True when the bound is absent (-inf for a lower, +inf for an upper).
+  bool unbounded = true;
+  /// Bound value; meaningful only when !unbounded.
+  Datum value{};
+  /// True for >= / <= bounds, false for > / <.
+  bool inclusive = false;
+};
+
+/// A one-column interval `lo .. hi` with independent open/closed ends.
+struct ColumnInterval {
+  RangeBound lo;
+  RangeBound hi;
+};
+
+/// True if `a` is the strictly tighter LOWER bound (starts later than
+/// `b`; an exclusive bound at the same value is tighter than an
+/// inclusive one).
+bool LoTighter(const RangeBound& a, const RangeBound& b);
+
+/// True if `a` is the strictly tighter UPPER bound (ends earlier).
+bool HiTighter(const RangeBound& a, const RangeBound& b);
+
+/// The tighter of two lower / upper bounds.
+RangeBound TighterLo(const RangeBound& a, const RangeBound& b);
+RangeBound TighterHi(const RangeBound& a, const RangeBound& b);
+
+/// True when the interval contains no value (lo past hi, or equal with
+/// either end open). Unbounded ends never make an interval empty.
+bool IntervalEmpty(const ColumnInterval& i);
+
+/// True when the two intervals share at least one value (a shared closed
+/// boundary point counts).
+bool Overlaps(const ColumnInterval& a, const ColumnInterval& b);
+
+/// Intersection (may be empty; check IntervalEmpty).
+ColumnInterval Intersect(const ColumnInterval& a, const ColumnInterval& b);
+
+/// The upper bound ending immediately before lower bound `lo`
+/// (value-equal, complementary inclusiveness). `lo` must be bounded.
+RangeBound ComplementHi(const RangeBound& lo);
+
+/// The lower bound starting immediately after upper bound `hi`
+/// (value-equal, complementary inclusiveness). `hi` must be bounded.
+RangeBound ComplementLo(const RangeBound& hi);
+
+/// A selection predicate decomposed around one ranged column: the
+/// column's interval plus every remaining conjunct ("others", matched by
+/// fingerprint between cached slice and query).
+struct RangeSpec {
+  /// Ranged column name in the predicate's own name space.
+  std::string column;
+  /// `column` translated through the extraction mapping (equal to
+  /// `column` when no mapping was given). Graph-space index key.
+  std::string mapped_column;
+  /// The conjunction of all range conjuncts on `column`.
+  ColumnInterval range;
+  /// Non-range conjuncts, original expressions (predicate name space).
+  std::vector<ExprPtr> others;
+  /// Fingerprints of `others` under the extraction mapping.
+  std::set<std::string> other_fps;
+};
+
+/// Decomposes a selection predicate into one RangeSpec per column that
+/// carries at least one range conjunct (`col < lit`, `lit <= col`, ...).
+/// Every conjunct not contributing to a spec's column lands in that
+/// spec's `others` — including range conjuncts on *different* columns,
+/// which then must match by fingerprint like any other conjunct. Specs
+/// whose interval is empty (contradictory predicate) are dropped.
+/// `mapping` (optional) translates column names for `mapped_column` and
+/// `other_fps` (query space -> graph space).
+std::vector<RangeSpec> ExtractRangeSpecs(const ExprPtr& pred,
+                                         const NameMap* mapping);
+
+/// The interval index: cached range-selection slices keyed by
+/// (child graph-node id, graph-space column name), each bucket sorted by
+/// lower bound so overlap lookups stop early.
+///
+/// NOT thread-safe by itself: the owning Recycler guards it with its
+/// cache mutex (the index tracks cache residency, so it changes exactly
+/// when admission/eviction decisions do; lock order graph mutex ->
+/// cache mutex -> mat shard mutex is unchanged).
+class IntervalIndex {
+ public:
+  /// One indexed slice: the cached node, its interval on the bucket's
+  /// column, and the fingerprints of its remaining conjuncts.
+  struct Entry {
+    RGNode* node = nullptr;
+    ColumnInterval range;
+    std::set<std::string> other_fps;
+  };
+
+  /// Registers `entry` under (child_id, column). Inserting the same node
+  /// twice for one key is a no-op.
+  void Insert(int64_t child_id, const std::string& column, Entry entry);
+
+  /// Unregisters every entry of `node` (all keys). No-op when absent.
+  void Remove(const RGNode* node);
+
+  /// Every entry under (child_id, column) whose interval overlaps
+  /// `query`, in ascending lower-bound order.
+  std::vector<Entry> Overlapping(int64_t child_id, const std::string& column,
+                                 const ColumnInterval& query) const;
+
+  /// Total registered (node, key) pairs.
+  int64_t num_entries() const { return num_entries_; }
+
+ private:
+  using Key = std::pair<int64_t, std::string>;
+
+  /// Buckets sorted ascending by entry lower bound.
+  std::map<Key, std::vector<Entry>> buckets_;
+  /// node -> keys it is registered under (for Remove).
+  std::unordered_map<const RGNode*, std::vector<Key>> registered_;
+  int64_t num_entries_ = 0;
+};
+
+}  // namespace recycledb

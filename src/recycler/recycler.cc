@@ -34,6 +34,11 @@ struct PreparedQuery::MNode {
   RGNode* gnode = nullptr;
   bool inserted = false;   // inserted into the graph by this invocation
   bool replaced = false;   // subtree replaced by a cached result
+  /// Subtree replaced by a stitched partial-reuse plan: the node's result
+  /// is still produced in full (union of cached slices + delta scans), so
+  /// unlike `replaced` it remains a store candidate — but its children
+  /// are not walked for stores (delta branches may share plan nodes).
+  bool stitched = false;
   NameMap mapping;         // query -> graph names, valid at this output
   /// Plan node actually present in the executed (rewritten) plan; null for
   /// nodes inside replaced subtrees.
@@ -402,51 +407,149 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       return cs;
     }
 
-    // Subsumption (§IV-A): only consulted when exact matching failed to
-    // produce a cached result.
-    if (config_.enable_subsumption && m->children.size() == 1 &&
-        m->children[0]->gnode != nullptr) {
+    // Derived reuse: only consulted when exact matching failed to
+    // produce a cached result. Both paths need the single shared child's
+    // graph node; each is gated by its own config flag.
+    if ((config_.enable_subsumption || config_.enable_partial_reuse) &&
+        m->children.size() == 1 && m->children[0]->gnode != nullptr) {
       RGNode* child_gnode = m->children[0]->gnode;
-      SubsumptionPlan derived;
-      RGNode* subsumer = nullptr;
-      {
-        std::shared_lock<std::shared_mutex> glock(graph_.mutex());
-        std::unordered_set<RGNode*> seen;
-        for (const auto& [hk, parent] : child_gnode->parents) {
-          if (parent == g || !seen.insert(parent).second) continue;
-          TablePtr cached;
+
+      // Single-superset subsumption (§IV-A).
+      if (config_.enable_subsumption) {
+        SubsumptionPlan derived;
+        RGNode* subsumer = nullptr;
+        {
+          std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+          std::unordered_set<RGNode*> seen;
+          for (const auto& [hk, parent] : child_gnode->parents) {
+            if (parent == g || !seen.insert(parent).second) continue;
+            TablePtr cached;
+            {
+              RecyclerGraph::MatShard& shard = graph_.mat_shard(parent);
+              std::lock_guard<std::mutex> mlock(shard.mu);
+              if (parent->mat_state.load() != MatState::kCached) continue;
+              cached = parent->cached;
+            }
+            derived = TrySubsumption(*m->plan, m->children[0]->mapping,
+                                     *parent, cached);
+            if (derived.plan != nullptr) {
+              subsumer = parent;
+              break;
+            }
+          }
+        }
+        if (derived.plan != nullptr) {
           {
-            RecyclerGraph::MatShard& shard = graph_.mat_shard(parent);
-            std::lock_guard<std::mutex> mlock(shard.mu);
-            if (parent->mat_state.load() != MatState::kCached) continue;
-            cached = parent->cached;
+            // Exclusive: the subsumption edge list is graph structure.
+            std::unique_lock<std::shared_mutex> glock(graph_.mutex());
+            graph_.FoldAging(subsumer);
+            AtomicAddClamped(subsumer->h, 1.0, 0.0);  // subsumption reference
+            bool have_edge = false;
+            for (RGNode* s : subsumer->subsumes) have_edge |= (s == g);
+            if (!have_edge) subsumer->subsumes.push_back(g);
+            prepared->replaced_cost_[derived.cached_scan.get()] =
+                subsumer->bcost_ms.load();
           }
-          derived = TrySubsumption(*m->plan, m->children[0]->mapping, *parent,
-                                   cached);
-          if (derived.plan != nullptr) {
-            subsumer = parent;
-            break;
-          }
+          m->replaced = true;
+          ++prepared->trace_.num_reuses;
+          ++prepared->trace_.num_subsumption_reuses;
+          counters_.reuses.fetch_add(1);
+          counters_.subsumption_reuses.fetch_add(1);
+          return derived.plan;
         }
       }
-      if (derived.plan != nullptr) {
+
+      // Partial reuse (range stitching): no single cached result covers
+      // the query, but overlapping cached range slices over the same
+      // child may cover parts of it. Answer from their union plus
+      // compensated delta scans for the remainder; credit contributors
+      // proportionally to the share of the interval they serve.
+      if (config_.enable_partial_reuse && plan->type() == OpType::kSelect) {
+        // Delta scans prefer the child's own cached result over
+        // re-executing the child subtree (stitching must not preempt a
+        // reuse the plain miss path would have gotten).
+        PlanPtr delta_child = plan->children()[0];
+        bool delta_child_cached = false;
         {
-          // Exclusive: the subsumption edge list is graph structure.
-          std::unique_lock<std::shared_mutex> glock(graph_.mutex());
-          graph_.FoldAging(subsumer);
-          AtomicAddClamped(subsumer->h, 1.0, 0.0);  // subsumption reference
-          bool have_edge = false;
-          for (RGNode* s : subsumer->subsumes) have_edge |= (s == g);
-          if (!have_edge) subsumer->subsumes.push_back(g);
-          prepared->replaced_cost_[derived.cached_scan.get()] =
-              subsumer->bcost_ms.load();
+          RecyclerGraph::MatShard& shard = graph_.mat_shard(child_gnode);
+          std::lock_guard<std::mutex> mlock(shard.mu);
+          if (child_gnode->mat_state.load() == MatState::kCached) {
+            delta_child = PlanNode::CachedScan(
+                child_gnode->cached,
+                plan->children()[0]->output_schema().Names());
+            delta_child_cached = true;
+          }
         }
-        m->replaced = true;
-        ++prepared->trace_.num_reuses;
-        ++prepared->trace_.num_subsumption_reuses;
-        counters_.reuses.fetch_add(1);
-        counters_.subsumption_reuses.fetch_add(1);
-        return derived.plan;
+        PartialPlan stitched;
+        {
+          std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+          const NameMap& mapping = m->children[0]->mapping;
+          for (const RangeSpec& spec :
+               ExtractRangeSpecs(plan->predicate(), &mapping)) {
+            std::vector<IntervalIndex::Entry> entries;
+            {
+              std::lock_guard<std::mutex> clock(cache_mu_);
+              entries = interval_index_.Overlapping(
+                  child_gnode->id, spec.mapped_column, spec.range);
+            }
+            std::vector<IntervalCandidate> cands;
+            for (IntervalIndex::Entry& e : entries) {
+              if (e.node == g) continue;  // exact reuse handled above
+              TablePtr cached;
+              {
+                RecyclerGraph::MatShard& shard = graph_.mat_shard(e.node);
+                std::lock_guard<std::mutex> mlock(shard.mu);
+                if (e.node->mat_state.load() != MatState::kCached) continue;
+                cached = e.node->cached;
+              }
+              cands.push_back({e.node, std::move(cached), e.range,
+                               std::move(e.other_fps)});
+            }
+            if (cands.empty()) continue;
+            PartialPlan attempt =
+                TryPartialStitch(*plan, mapping, delta_child, spec, cands);
+            if (attempt.plan != nullptr &&
+                attempt.covered_fraction > stitched.covered_fraction) {
+              stitched = std::move(attempt);
+            }
+          }
+          if (stitched.plan != nullptr &&
+              stitched.covered_fraction >= config_.partial_min_cover) {
+            for (const PartialPiece& piece : stitched.reuse_pieces) {
+              RGNode* src = const_cast<RGNode*>(piece.source);
+              graph_.FoldAging(src);
+              AtomicAddClamped(src->h, piece.fraction, 0.0);
+              // Eq. 2 bookkeeping: the slice replaced `fraction` of the
+              // contributor's from-base-tables work.
+              prepared->replaced_cost_[piece.cached_scan.get()] =
+                  src->bcost_ms.load() * piece.fraction;
+            }
+            if (delta_child_cached && stitched.num_delta_pieces > 0) {
+              // The single delta branch replaced the child's base cost
+              // exactly once (Eq. 2).
+              graph_.FoldAging(child_gnode);
+              AtomicAddClamped(child_gnode->h, 1.0, 0.0);
+              prepared->replaced_cost_[delta_child.get()] =
+                  child_gnode->bcost_ms.load();
+            }
+          } else {
+            stitched = PartialPlan{};
+          }
+        }
+        if (stitched.plan != nullptr) {
+          m->stitched = true;
+          m->exec_plan = stitched.plan.get();
+          prepared->exec_to_gnode_[stitched.plan.get()] = g;
+          ++prepared->trace_.num_reuses;
+          ++prepared->trace_.num_partial_reuses;
+          counters_.reuses.fetch_add(1);
+          counters_.partial_reuses.fetch_add(1);
+          if (delta_child_cached && stitched.num_delta_pieces > 0) {
+            ++prepared->trace_.num_reuses;  // the child reuse in the deltas
+            counters_.reuses.fetch_add(1);
+          }
+          return stitched.plan;
+        }
       }
     }
   }
@@ -493,6 +596,42 @@ StoreRequest Recycler::MakeStoreRequest(RGNode* gnode, StoreMode mode,
   return req;
 }
 
+bool Recycler::MaybeInjectStore(RGNode* g, const PlanNode* exec_plan,
+                                bool history_ok, bool speculative_ok,
+                                PreparedQuery* prepared) {
+  if (exec_plan == nullptr || g->mat_state.load() != MatState::kNone ||
+      prepared->stores_.count(exec_plan) > 0) {
+    return false;
+  }
+  if (g->has_bcost.load()) {
+    // History-based decision (§V HIST): the result has been computed
+    // before, so cost and size are known; materialize when the benefit
+    // metric admits it.
+    if (!history_ok || graph_.AgedH(g) < 1.0) return false;
+    double benefit = BenefitOf(g);
+    int64_t size = static_cast<int64_t>(EstimatedSize(g));
+    bool would_admit;
+    {
+      std::lock_guard<std::mutex> clock(cache_mu_);
+      would_admit = cache_.WouldAdmit(benefit, size);
+    }
+    if (would_admit && TryClaimInFlight(g)) {
+      prepared->stores_[exec_plan] =
+          MakeStoreRequest(g, StoreMode::kMaterialize, prepared);
+      return true;
+    }
+    return false;
+  }
+  // Speculation (§III-D): never executed before; buffer and decide at
+  // run time.
+  if (speculative_ok && TryClaimInFlight(g)) {
+    prepared->stores_[exec_plan] =
+        MakeStoreRequest(g, StoreMode::kSpeculative, prepared);
+    return true;
+  }
+  return false;
+}
+
 void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
                             bool in_store_chain) {
   // Caller holds the *shared* graph lock: the decision reads structure
@@ -502,44 +641,34 @@ void Recycler::InjectStores(MNode* m, PreparedQuery* prepared,
   // arbitrated by TryClaimInFlight (the loser executes without storing).
   if (m->replaced) return;  // subtree not executed
   RGNode* g = m->gnode;
+  const bool spec_mode = config_.mode == RecyclerMode::kSpeculation ||
+                         config_.mode == RecyclerMode::kProactive;
   bool stored_here = false;
 
-  if (CacheableType(m->plan->type()) && m->exec_plan != nullptr &&
-      g->mat_state.load() == MatState::kNone &&
-      prepared->stores_.count(m->exec_plan) == 0) {
+  if (m->stitched) {
+    // Stitched-admission policy: the union of cached slices + delta scans
+    // produces the node's FULL result, so it is a store candidate — caching
+    // it widens the indexed coverage and turns future overlapping queries
+    // into full covers. Every stitched node is a speculation target (its
+    // overlap history is exactly what predicts the next overlapping
+    // query). Children are not walked: delta branches may share plan
+    // nodes, and a shared store target would double-offer its result.
+    MaybeInjectStore(g, m->exec_plan, /*history_ok=*/!in_store_chain,
+                     /*speculative_ok=*/spec_mode, prepared);
+    return;
+  }
+
+  if (CacheableType(m->plan->type())) {
+    // Within a chain only the most beneficial node is stored
+    // (in_store_chain gates history stores below a chosen store);
+    // speculation targets expected expensive/small operators and the
+    // final result.
     const bool is_root = m == prepared->matched_.get();
-    if (g->has_bcost.load()) {
-      // History-based decision (§V HIST): the result has been computed
-      // before, so cost and size are known; materialize when the benefit
-      // metric admits it. Within a chain only the most beneficial node is
-      // stored (in_store_chain gates descendants of a chosen store).
-      double h = graph_.AgedH(g);
-      if (h >= 1.0 && !in_store_chain) {
-        double benefit = BenefitOf(g);
-        int64_t size = static_cast<int64_t>(EstimatedSize(g));
-        bool would_admit;
-        {
-          std::lock_guard<std::mutex> clock(cache_mu_);
-          would_admit = cache_.WouldAdmit(benefit, size);
-        }
-        if (would_admit && TryClaimInFlight(g)) {
-          prepared->stores_[m->exec_plan] =
-              MakeStoreRequest(g, StoreMode::kMaterialize, prepared);
-          stored_here = true;
-        }
-      }
-    } else if (config_.mode == RecyclerMode::kSpeculation ||
-               config_.mode == RecyclerMode::kProactive) {
-      // Speculation (§III-D): never executed before; buffer and decide at
-      // run time. Applied to expected expensive/small operators and to
-      // the final result.
-      if ((SpeculationTargetType(m->plan->type()) || is_root) &&
-          TryClaimInFlight(g)) {
-        prepared->stores_[m->exec_plan] =
-            MakeStoreRequest(g, StoreMode::kSpeculative, prepared);
-        stored_here = true;
-      }
-    }
+    stored_here = MaybeInjectStore(
+        g, m->exec_plan, /*history_ok=*/!in_store_chain,
+        /*speculative_ok=*/
+        spec_mode && (SpeculationTargetType(m->plan->type()) || is_root),
+        prepared);
   }
 
   for (auto& c : m->children) {
@@ -628,11 +757,13 @@ void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
     admitted = cache_.Admit(node, benefit, &evicted);
     for (RGNode* v : evicted) {
       UpdateHrOnEvict(v);
+      interval_index_.Remove(v);
       SetMatState(v, MatState::kNone, /*clear_cached=*/true);
       counters_.evictions.fetch_add(1);
     }
     if (admitted) {
       SetMatState(node, MatState::kCached);
+      RegisterIntervals(node);
     } else {
       SetMatState(node, MatState::kNone, /*clear_cached=*/true);
     }
@@ -655,9 +786,28 @@ void Recycler::EvictNode(RGNode* node, bool update_h) {
   // a snapshot keep the table (and any column views into it) alive until
   // their scans drain.
   cache_.Remove(node);
+  interval_index_.Remove(node);
   if (update_h) UpdateHrOnEvict(node);
   SetMatState(node, MatState::kNone, /*clear_cached=*/true);
   counters_.evictions.fetch_add(1);
+}
+
+void Recycler::RegisterIntervals(RGNode* node) {
+  if (node->type != OpType::kSelect || node->children.size() != 1 ||
+      node->param_node == nullptr) {
+    return;
+  }
+  // param_node lives in graph name space, so the specs index directly.
+  for (RangeSpec& spec :
+       ExtractRangeSpecs(node->param_node->predicate(), nullptr)) {
+    interval_index_.Insert(node->children[0]->id, spec.mapped_column,
+                           {node, spec.range, std::move(spec.other_fps)});
+  }
+}
+
+int64_t Recycler::interval_index_entries() const {
+  std::lock_guard<std::mutex> clock(cache_mu_);
+  return interval_index_.num_entries();
 }
 
 void Recycler::InvalidateTable(const std::string& table) {
@@ -688,6 +838,7 @@ void Recycler::FlushCache() {
   cache_.Flush(&evicted);
   for (RGNode* n : evicted) {
     UpdateHrOnEvict(n);
+    interval_index_.Remove(n);
     SetMatState(n, MatState::kNone, /*clear_cached=*/true);
     counters_.evictions.fetch_add(1);
   }
@@ -810,6 +961,7 @@ void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
     ++ts.executions;
     ts.reuses += prepared->trace_.num_reuses;
     ts.subsumption_reuses += prepared->trace_.num_subsumption_reuses;
+    ts.partial_reuses += prepared->trace_.num_partial_reuses;
     ts.materializations += prepared->trace_.num_materialized;
     ts.total_ms += result.total_ms;
   }

@@ -12,6 +12,7 @@
 #include "exec/executor.h"
 #include "recycler/cache.h"
 #include "recycler/graph.h"
+#include "recycler/interval_index.h"
 
 namespace recycledb {
 
@@ -40,6 +41,20 @@ struct RecyclerConfig {
   int64_t speculation_buffer_cap = 64ll << 20;
   /// Enables subsumption-based reuse (§IV-A).
   bool enable_subsumption = true;
+  /// Enables partial reuse of range selections (stitching overlapping
+  /// cached slices with a compensated delta scan). Independent of
+  /// enable_subsumption: disabling single-superset subsumption alone
+  /// does not turn stitching off.
+  bool enable_partial_reuse = true;
+  /// Minimum share of the query interval the cached slices must cover
+  /// for a stitched rewrite to be used (0 = any overlap, 1 = full cover
+  /// only). Stitched plans with a delta scan still execute the child for
+  /// the remainder, so raising this trades stitching opportunities for
+  /// less union overhead. Caveat: for open-ended or non-numeric query
+  /// intervals the covered fraction is unmeasurable and falls back to an
+  /// even split across the stitched branches, so thresholds near 1 also
+  /// suppress open-ended stitches with several branches.
+  double partial_min_cover = 0.0;
   /// Proactive top-N limit L (§IV-B: topN(Q, 10000) subsumes topN(Q, N)).
   int64_t proactive_topn_limit = 10000;
   /// Cube caching threshold on the number of distinct values the pulled-up
@@ -61,6 +76,7 @@ struct QueryTrace {
   int64_t template_prior_runs = 0;
   int num_reuses = 0;              // cached results consumed
   int num_subsumption_reuses = 0;  // of which via subsumption
+  int num_partial_reuses = 0;      // of which via partial-range stitching
   int num_materialized = 0;        // results added to the cache
   int num_spec_aborted = 0;        // speculative stores that backed off
   int num_stalls = 0;              // waits on concurrent materializations
@@ -77,6 +93,7 @@ struct TemplateStats {
   int64_t executions = 0;
   int64_t reuses = 0;
   int64_t subsumption_reuses = 0;
+  int64_t partial_reuses = 0;
   int64_t materializations = 0;
   double total_ms = 0;
 };
@@ -86,6 +103,7 @@ struct RecyclerCounters {
   std::atomic<int64_t> queries{0};
   std::atomic<int64_t> reuses{0};
   std::atomic<int64_t> subsumption_reuses{0};
+  std::atomic<int64_t> partial_reuses{0};
   std::atomic<int64_t> materializations{0};
   std::atomic<int64_t> spec_aborts{0};
   std::atomic<int64_t> stalls{0};
@@ -175,6 +193,10 @@ class Recycler {
   /// Per-template reuse stats for `template_hash` (zeroes if unseen).
   TemplateStats TemplateStatsFor(uint64_t template_hash) const;
 
+  /// Number of (cached slice, column) registrations in the partial-reuse
+  /// interval index (diagnostics / tests).
+  int64_t interval_index_entries() const;
+
   /// Snapshot of all template-level stats (hash -> aggregate).
   std::map<uint64_t, TemplateStats> TemplateStatsSnapshot() const;
 
@@ -206,6 +228,13 @@ class Recycler {
   PlanPtr RewriteForReuse(MNode* m, const PlanPtr& plan,
                           PreparedQuery* prepared);
   void InjectStores(MNode* m, PreparedQuery* prepared, bool in_store_chain);
+  /// Shared admission decision for one store candidate: history-based
+  /// materialization when measured (benefit admit at h >= 1, gated by
+  /// `history_ok`), else a speculative store when `speculative_ok`.
+  /// Returns true if a store was injected. Caller holds the shared
+  /// graph lock.
+  bool MaybeInjectStore(RGNode* g, const PlanNode* exec_plan, bool history_ok,
+                        bool speculative_ok, PreparedQuery* prepared);
   StoreRequest MakeStoreRequest(RGNode* gnode, StoreMode mode,
                                 PreparedQuery* prepared);
 
@@ -229,6 +258,11 @@ class Recycler {
   /// Caller holds at least the shared graph lock AND cache_mu_.
   void EvictNode(RGNode* node, bool update_h);
 
+  /// Registers `node`'s range slices in the interval index right after
+  /// cache admission. Caller holds at least the shared graph lock AND
+  /// cache_mu_ (the index tracks cache residency).
+  void RegisterIntervals(RGNode* node);
+
   const Catalog* catalog_;
   RecyclerConfig config_;
   RecyclerGraph graph_;
@@ -239,6 +273,9 @@ class Recycler {
   /// Lock order: graph mutex -> cache_mu_ -> mat shard mutex.
   mutable std::mutex cache_mu_;
   RecyclerCache cache_;
+  /// Partial-reuse interval index over cached range-selection slices.
+  /// Guarded by cache_mu_: it changes exactly when cache residency does.
+  IntervalIndex interval_index_;
   /// Guards template_stats_ (independent of the graph/cache locks; taken
   /// last and never while holding them longer than the map update).
   mutable std::mutex template_mu_;

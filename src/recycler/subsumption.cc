@@ -1,5 +1,6 @@
 #include "recycler/subsumption.h"
 
+#include <algorithm>
 #include <optional>
 #include <set>
 
@@ -267,6 +268,159 @@ SubsumptionPlan TrySubsumption(const PlanNode& query_node,
     default:
       return {};
   }
+}
+
+namespace {
+
+/// `column <op> literal` for one end of an interval.
+ExprPtr BoundExpr(const std::string& column, const RangeBound& b,
+                  bool is_lower) {
+  CompareOp op = is_lower ? (b.inclusive ? CompareOp::kGe : CompareOp::kGt)
+                          : (b.inclusive ? CompareOp::kLe : CompareOp::kLt);
+  return Expr::Compare(op, Expr::Column(column), Expr::Literal(b.value));
+}
+
+bool NumericDatum(const Datum& d) {
+  return !std::holds_alternative<std::monostate>(d) &&
+         IsNumeric(DatumType(d));
+}
+
+}  // namespace
+
+PartialPlan TryPartialStitch(const PlanNode& query_node,
+                             const NameMap& child_mapping,
+                             const PlanPtr& child_plan, const RangeSpec& spec,
+                             const std::vector<IntervalCandidate>& candidates) {
+  PartialPlan out;
+  const ColumnInterval& q = spec.range;
+
+  // A candidate is usable when its remaining conjuncts are a subset of
+  // the query's (the cached slice then only lacks the residual filters,
+  // applied as compensation below) and its interval overlaps the query's.
+  std::vector<const IntervalCandidate*> eligible;
+  for (const IntervalCandidate& c : candidates) {
+    if (c.cached == nullptr) continue;
+    if (!std::includes(spec.other_fps.begin(), spec.other_fps.end(),
+                       c.other_fps.begin(), c.other_fps.end())) {
+      continue;
+    }
+    if (!Overlaps(c.range, q)) continue;
+    eligible.push_back(&c);
+  }
+  if (eligible.empty()) return out;
+  std::sort(eligible.begin(), eligible.end(),
+            [](const IntervalCandidate* a, const IntervalCandidate* b) {
+              return LoTighter(b->range.lo, a->range.lo);  // ascending by lo
+            });
+
+  // Proportional credit needs a measurable query interval; otherwise the
+  // pieces split the credit evenly (fixed up once the count is known).
+  const bool measurable = !q.lo.unbounded && !q.hi.unbounded &&
+                          NumericDatum(q.lo.value) && NumericDatum(q.hi.value);
+  const double qlen =
+      measurable ? DatumAsDouble(q.hi.value) - DatumAsDouble(q.lo.value) : 0;
+  auto fraction_of = [&](const ColumnInterval& clip) -> double {
+    if (!measurable || qlen <= 0) return -1;
+    double len =
+        DatumAsDouble(clip.hi.value) - DatumAsDouble(clip.lo.value);
+    return std::max(0.0, std::min(1.0, len / qlen));
+  };
+
+  const std::vector<std::string> child_names =
+      query_node.output_schema().Names();
+  std::vector<PlanPtr> branches;
+  // Uncovered gaps are collected and merged into ONE delta scan below,
+  // so the child subtree executes at most once per stitched plan.
+  std::vector<ColumnInterval> gaps;
+
+  // Sweep the query interval left to right, assigning each position to
+  // the first cached slice that covers it. Adjacent pieces meet with
+  // complementary open/closed boundaries (ComplementLo/Hi), so boundary
+  // values land in exactly one branch of the union.
+  RangeBound cursor = q.lo;
+  bool exhausted = false;
+  for (const IntervalCandidate* c : eligible) {
+    ColumnInterval rem{cursor, q.hi};
+    if (IntervalEmpty(rem)) {
+      exhausted = true;
+      break;
+    }
+    ColumnInterval clip = Intersect(c->range, rem);
+    if (IntervalEmpty(clip)) continue;  // already covered by earlier slices
+    if (LoTighter(clip.lo, cursor)) {
+      ColumnInterval gap{cursor, ComplementHi(clip.lo)};
+      if (!IntervalEmpty(gap)) gaps.push_back(gap);
+    }
+    // Compensation: residual conjuncts the slice did not apply, plus the
+    // clip bounds that are tighter than the slice's own (a clip bound
+    // equal to the slice bound is already enforced by the cached data).
+    std::vector<ExprPtr> comp;
+    for (const ExprPtr& o : spec.others) {
+      if (c->other_fps.count(o->Fingerprint(&child_mapping)) == 0) {
+        comp.push_back(o);
+      }
+    }
+    if (LoTighter(clip.lo, c->range.lo)) {
+      comp.push_back(BoundExpr(spec.column, clip.lo, /*is_lower=*/true));
+    }
+    if (HiTighter(clip.hi, c->range.hi)) {
+      comp.push_back(BoundExpr(spec.column, clip.hi, /*is_lower=*/false));
+    }
+    PlanPtr scan = PlanNode::CachedScan(c->cached, child_names);
+    PlanPtr piece =
+        comp.empty() ? scan : PlanNode::Select(scan, AndAll(comp));
+    branches.push_back(piece);
+    out.reuse_pieces.push_back({piece, scan, c->node, fraction_of(clip)});
+    if (clip.hi.unbounded) {  // covered through +inf (q.hi is unbounded)
+      exhausted = true;
+      break;
+    }
+    cursor = ComplementLo(clip.hi);
+  }
+  if (!exhausted) {
+    ColumnInterval rem{cursor, q.hi};
+    if (!IntervalEmpty(rem)) gaps.push_back(rem);
+  }
+  if (out.reuse_pieces.empty()) return {};
+
+  if (!gaps.empty()) {
+    // One compensated delta scan for every gap: the query's non-range
+    // conjuncts AND the disjunction of the gap ranges. Every gap has at
+    // least one bound (it is contained in the query interval, which has
+    // one), so each disjunct is non-trivial.
+    std::vector<ExprPtr> gap_preds;
+    for (const ColumnInterval& gap : gaps) {
+      std::vector<ExprPtr> conj;
+      if (!gap.lo.unbounded) {
+        conj.push_back(BoundExpr(spec.column, gap.lo, /*is_lower=*/true));
+      }
+      if (!gap.hi.unbounded) {
+        conj.push_back(BoundExpr(spec.column, gap.hi, /*is_lower=*/false));
+      }
+      ExprPtr gap_pred = AndAll(conj);
+      if (gap_pred != nullptr) gap_preds.push_back(std::move(gap_pred));
+    }
+    if (gap_preds.empty()) return {};  // cannot express the remainder
+    ExprPtr ranges = gap_preds[0];
+    for (size_t i = 1; i < gap_preds.size(); ++i) {
+      ranges = Expr::Or(ranges, gap_preds[i]);
+    }
+    std::vector<ExprPtr> conj = spec.others;
+    conj.push_back(ranges);
+    branches.push_back(PlanNode::Select(child_plan, AndAll(conj)));
+    out.num_delta_pieces = 1;
+  }
+
+  // Unmeasurable interval: split the credit evenly across all branches.
+  for (PartialPiece& p : out.reuse_pieces) {
+    if (p.fraction < 0) p.fraction = 1.0 / branches.size();
+    out.covered_fraction += p.fraction;
+  }
+  out.covered_fraction = std::min(1.0, out.covered_fraction);
+
+  out.plan = branches.size() == 1 ? branches[0]
+                                  : PlanNode::UnionAll(std::move(branches));
+  return out;
 }
 
 bool ParamsSubsume(const PlanNode& super, const PlanNode& sub) {

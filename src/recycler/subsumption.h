@@ -12,9 +12,14 @@
 //   - tuple subsumption (TopN): the cached top-M with the same sort keys
 //     and M >= N answers top-N via a Limit (the proactive top-N strategy
 //     relies on this).
+//   - partial reuse (range stitching): overlapping cached range slices
+//     over the same child are unioned (with compensation filters) and the
+//     uncovered remainder is answered by compensated delta scans — see
+//     TryPartialStitch and interval_index.h.
 #pragma once
 
 #include "recycler/graph.h"
+#include "recycler/interval_index.h"
 
 namespace recycledb {
 
@@ -43,5 +48,72 @@ SubsumptionPlan TrySubsumption(const PlanNode& query_node,
 /// in graph space, same child). Used to maintain most-specific
 /// subsumption edges in the graph.
 bool ParamsSubsume(const PlanNode& super, const PlanNode& sub);
+
+// ---------------------------------------------------------------------------
+// Partial reuse (range stitching)
+// ---------------------------------------------------------------------------
+
+/// One cached slice the stitcher may draw from: the cached node, a
+/// pinned snapshot of its result, its interval on the stitch column, and
+/// the fingerprints of its remaining conjuncts (all graph space). The
+/// caller (Recycler) collects these from the interval index under lock.
+struct IntervalCandidate {
+  const RGNode* node = nullptr;
+  TablePtr cached;
+  ColumnInterval range;
+  std::set<std::string> other_fps;
+};
+
+/// One branch of a stitched plan that reads a cached slice.
+struct PartialPiece {
+  /// The branch subtree (CachedScan, possibly under a compensation
+  /// Select clamping the branch to its assigned sub-interval).
+  PlanPtr piece;
+  /// The CachedScan inside `piece` (for Eq. 2 cost bookkeeping).
+  PlanPtr cached_scan;
+  /// The contributing cached node.
+  const RGNode* source = nullptr;
+  /// Share of the query interval this branch covers (proportional
+  /// benefit credit; equal split when the interval is unmeasurable).
+  double fraction = 0;
+};
+
+/// Result of a successful partial-reuse stitching.
+struct PartialPlan {
+  /// Stitched plan: a single piece, or a UnionAll over cached-slice
+  /// pieces and delta scans. Branches cover pairwise-disjoint
+  /// sub-intervals of the query range, so the bag union is exact.
+  PlanPtr plan;
+  std::vector<PartialPiece> reuse_pieces;
+  /// Number of delta branches: 0 when the cached slices fully cover the
+  /// query range (the child never executes), else 1 — every uncovered
+  /// gap merges into one compensated delta scan so the child subtree
+  /// executes at most once per stitched plan.
+  int num_delta_pieces = 0;
+  /// Total share of the query interval served from the cache.
+  double covered_fraction = 0;
+};
+
+/// Attempts to answer range selection `query_node` (whose predicate
+/// decomposed into `spec`) from the union of overlapping cached slices
+/// plus compensated delta scans over `child_plan` for the uncovered
+/// remainder. `child_mapping` maps the shared child's column names to
+/// graph space. Candidates whose remaining conjuncts are not a subset of
+/// the query's are skipped (the residual conjuncts become compensation
+/// filters on their piece). Adjacent pieces meet with complementary
+/// open/closed boundaries, so shared boundary values are emitted exactly
+/// once. Returns an empty plan when no candidate contributes.
+///
+/// The stitched union is a BAG equal to the selection's result as a
+/// multiset, but branch order differs from cold execution (cached slices
+/// stream before delta scans) — an order-sensitive parent without a sort
+/// (Limit without OrderBy) may surface different, equally valid, rows.
+///
+/// Thread-safety: pure — reads only immutable RGNode identity fields and
+/// the pinned snapshots inside `candidates`.
+PartialPlan TryPartialStitch(const PlanNode& query_node,
+                             const NameMap& child_mapping,
+                             const PlanPtr& child_plan, const RangeSpec& spec,
+                             const std::vector<IntervalCandidate>& candidates);
 
 }  // namespace recycledb

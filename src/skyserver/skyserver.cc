@@ -159,6 +159,34 @@ std::vector<SkyQuery> GenerateWorkload(int num_queries, Rng* rng,
   return workload;
 }
 
+std::vector<SkyQuery> GenerateRegionSweep(int num_queries, Rng* rng,
+                                          double window_deg,
+                                          double step_deg) {
+  // Fixed declination band around the clustered region; the RA window
+  // drifts by step_deg per query with small jitter, so neighbours
+  // overlap by ~(window - step) / window of their width.
+  const double dec_lo = -2.5, dec_hi = 7.5;
+  std::vector<SkyQuery> workload;
+  workload.reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    double lo = 185.0 + step_deg * i + rng->NextDouble() * 0.25 * step_deg;
+    double hi = lo + window_deg;
+    ExprPtr band =
+        Expr::And(Expr::Ge(Expr::Column("dec"), Expr::Literal(dec_lo)),
+                  Expr::Lt(Expr::Column("dec"), Expr::Literal(dec_hi)));
+    ExprPtr window =
+        Expr::And(Expr::Ge(Expr::Column("ra"), Expr::Literal(lo)),
+                  Expr::Lt(Expr::Column("ra"), Expr::Literal(hi)));
+    SkyQuery q;
+    q.dominant = false;
+    q.plan = PlanNode::Select(
+        PlanNode::Scan("photoprimary", {"objID", "ra", "dec", "type"}),
+        Expr::And(band, window));
+    workload.push_back(std::move(q));
+  }
+  return workload;
+}
+
 Query ConeSearchTemplate(std::vector<std::string> columns, int64_t limit) {
   Query nearby = Query::FunctionScan(
       "fGetNearbyObjEq",

@@ -41,6 +41,17 @@ struct SkyQuery {
 std::vector<SkyQuery> GenerateWorkload(int num_queries, Rng* rng,
                                        double dominant_fraction = 0.7);
 
+/// Overlapping sky-region sweep: `num_queries` box selections over the
+/// photoprimary catalog inside a fixed declination band, with the RA
+/// window drifting by a fraction of its width per query. Consecutive
+/// regions overlap heavily but none is contained in an earlier one —
+/// exact matching and single-superset subsumption both miss, while the
+/// recycler's partial-reuse stitching serves each window from the cached
+/// neighbours plus a delta scan. Deterministic given `rng`.
+std::vector<SkyQuery> GenerateRegionSweep(int num_queries, Rng* rng,
+                                          double window_deg = 8.0,
+                                          double step_deg = 1.0);
+
 /// The dominant pattern as a parameterized facade template:
 ///   SELECT p.<columns> FROM fGetNearbyObjEq($ra, $dec, $radius) n,
 ///          photoprimary p WHERE n.objID = p.objID LIMIT limit

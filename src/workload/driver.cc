@@ -126,6 +126,7 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
     ss.total_ms += r.end_ms - r.start_ms;
     ss.reuses += r.trace.num_reuses;
     ss.subsumption_reuses += r.trace.num_subsumption_reuses;
+    ss.partial_reuses += r.trace.num_partial_reuses;
     ss.materializations += r.trace.num_materialized;
     ss.stalls += r.trace.num_stalls;
   }
@@ -178,6 +179,9 @@ std::string FormatTrace(const RunReport& report) {
     }
     if (r.trace.num_subsumption_reuses > 0) {
       events += StrFormat("(subsumed:%d) ", r.trace.num_subsumption_reuses);
+    }
+    if (r.trace.num_partial_reuses > 0) {
+      events += StrFormat("(stitched:%d) ", r.trace.num_partial_reuses);
     }
     if (r.trace.num_materialized > 0) {
       events += StrFormat("materialized:%d ", r.trace.num_materialized);

@@ -52,6 +52,7 @@ struct StreamStats {
   double span_ms = 0;   // first query issued -> last result
   int64_t reuses = 0;
   int64_t subsumption_reuses = 0;
+  int64_t partial_reuses = 0;
   int64_t materializations = 0;
   int64_t stalls = 0;
 };

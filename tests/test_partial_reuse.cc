@@ -1,0 +1,589 @@
+// Tests for partial-reuse subsumption (range stitching): interval math,
+// predicate decomposition, the interval index, stitched-plan correctness
+// against cold execution (bit-identical row multisets), boundary-equality
+// dedup, open-ended intervals, full cover via multiple slices, stitched
+// result admission/widening, invalidation, and concurrent stitching.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "plan/table_function.h"
+#include "recycler/interval_index.h"
+#include "recycler/recycler.h"
+#include "recycler/subsumption.h"
+#include "recycledb/recycledb.h"
+#include "test_util.h"
+
+namespace recycledb {
+namespace {
+
+using recycledb::testing::RowMultiset;
+
+RangeBound Lo(double v, bool inclusive) { return {false, Datum{v}, inclusive}; }
+RangeBound Hi(double v, bool inclusive) { return {false, Datum{v}, inclusive}; }
+const RangeBound kUnbounded;
+
+// ---------------------------------------------------------------------------
+// Interval math
+// ---------------------------------------------------------------------------
+
+TEST(IntervalMath, TighterBounds) {
+  EXPECT_TRUE(LoTighter(Lo(5, true), Lo(4, true)));
+  EXPECT_FALSE(LoTighter(Lo(4, true), Lo(5, true)));
+  EXPECT_TRUE(LoTighter(Lo(5, false), Lo(5, true)));   // exclusive starts later
+  EXPECT_FALSE(LoTighter(Lo(5, true), Lo(5, false)));
+  EXPECT_TRUE(LoTighter(Lo(5, true), kUnbounded));
+  EXPECT_FALSE(LoTighter(kUnbounded, Lo(5, true)));
+
+  EXPECT_TRUE(HiTighter(Hi(4, true), Hi(5, true)));
+  EXPECT_TRUE(HiTighter(Hi(5, false), Hi(5, true)));   // exclusive ends earlier
+  EXPECT_TRUE(HiTighter(Hi(5, true), kUnbounded));
+}
+
+TEST(IntervalMath, EmptyAndOverlap) {
+  EXPECT_TRUE(IntervalEmpty({Lo(5, true), Hi(4, true)}));
+  EXPECT_FALSE(IntervalEmpty({Lo(5, true), Hi(5, true)}));   // point
+  EXPECT_TRUE(IntervalEmpty({Lo(5, false), Hi(5, true)}));
+  EXPECT_TRUE(IntervalEmpty({Lo(5, true), Hi(5, false)}));
+  EXPECT_FALSE(IntervalEmpty({kUnbounded, Hi(5, false)}));
+  EXPECT_FALSE(IntervalEmpty({Lo(5, false), kUnbounded}));
+
+  ColumnInterval a{Lo(0, true), Hi(10, true)};
+  EXPECT_TRUE(Overlaps(a, {Lo(10, true), Hi(20, true)}));  // closed boundary
+  EXPECT_FALSE(Overlaps(a, {Lo(10, false), Hi(20, true)}));
+  EXPECT_TRUE(Overlaps(a, {kUnbounded, Hi(0, true)}));
+}
+
+TEST(IntervalMath, Complements) {
+  RangeBound hi = ComplementHi(Lo(5, false));  // values up to and incl. 5
+  EXPECT_TRUE(hi.inclusive);
+  RangeBound lo = ComplementLo(Hi(5, true));   // values strictly above 5
+  EXPECT_FALSE(lo.inclusive);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate decomposition
+// ---------------------------------------------------------------------------
+
+TEST(ExtractRangeSpecs, SingleColumnWithOthers) {
+  ExprPtr pred = Expr::And(
+      Expr::And(Expr::Gt(Expr::Column("x"), Expr::Literal(10.0)),
+                Expr::Lt(Expr::Column("x"), Expr::Literal(50.0))),
+      Expr::Eq(Expr::Column("g"), Expr::Literal(int64_t{3})));
+  auto specs = ExtractRangeSpecs(pred, nullptr);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].column, "x");
+  EXPECT_FALSE(specs[0].range.lo.inclusive);
+  EXPECT_EQ(DatumAsDouble(specs[0].range.lo.value), 10.0);
+  EXPECT_EQ(DatumAsDouble(specs[0].range.hi.value), 50.0);
+  ASSERT_EQ(specs[0].others.size(), 1u);
+  EXPECT_EQ(specs[0].other_fps.size(), 1u);
+}
+
+TEST(ExtractRangeSpecs, TwoRangedColumnsYieldTwoSpecs) {
+  // Each spec treats the OTHER column's range conjuncts as plain
+  // fingerprint-matched conjuncts.
+  ExprPtr pred = Expr::And(
+      Expr::Ge(Expr::Column("x"), Expr::Literal(1.0)),
+      Expr::Le(Expr::Column("y"), Expr::Literal(2.0)));
+  auto specs = ExtractRangeSpecs(pred, nullptr);
+  ASSERT_EQ(specs.size(), 2u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.others.size(), 1u);
+    EXPECT_EQ(s.other_fps.size(), 1u);
+  }
+}
+
+TEST(ExtractRangeSpecs, MirroredLiteralAndContradiction) {
+  // `5 < x` is a lower bound on x.
+  auto specs = ExtractRangeSpecs(
+      Expr::Lt(Expr::Literal(5.0), Expr::Column("x")), nullptr);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_FALSE(specs[0].range.lo.unbounded);
+  EXPECT_TRUE(specs[0].range.hi.unbounded);
+
+  // Contradictory range (x > 9 AND x < 1) produces no spec.
+  specs = ExtractRangeSpecs(
+      Expr::And(Expr::Gt(Expr::Column("x"), Expr::Literal(9.0)),
+                Expr::Lt(Expr::Column("x"), Expr::Literal(1.0))),
+      nullptr);
+  EXPECT_TRUE(specs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Interval index
+// ---------------------------------------------------------------------------
+
+TEST(IntervalIndexTest, OverlapLookupAndRemove) {
+  // Standalone index with dummy nodes: only identity is used.
+  RGNode n1, n2, n3;
+  IntervalIndex index;
+  index.Insert(7, "v", {&n1, {Lo(10, false), Hi(50, false)}, {}});
+  index.Insert(7, "v", {&n2, {Lo(40, false), Hi(90, false)}, {}});
+  index.Insert(7, "v", {&n3, {Lo(95, false), Hi(99, false)}, {}});
+  index.Insert(8, "v", {&n1, {Lo(0, false), Hi(1, false)}, {}});
+  EXPECT_EQ(index.num_entries(), 4);
+
+  auto hits = index.Overlapping(7, "v", {Lo(30, false), Hi(80, false)});
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].node, &n1);  // ascending by lower bound
+  EXPECT_EQ(hits[1].node, &n2);
+
+  EXPECT_TRUE(index.Overlapping(7, "w", {Lo(30, false), Hi(80, false)})
+                  .empty());
+  EXPECT_TRUE(index.Overlapping(9, "v", {Lo(30, false), Hi(80, false)})
+                  .empty());
+
+  index.Remove(&n1);  // removes both registrations
+  EXPECT_EQ(index.num_entries(), 2);
+  hits = index.Overlapping(7, "v", {Lo(30, false), Hi(80, false)});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, &n2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level stitching
+// ---------------------------------------------------------------------------
+
+class PartialReuseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s({{"a", TypeId::kInt32},
+              {"g", TypeId::kInt32},
+              {"v", TypeId::kDouble}});
+    TablePtr t = MakeTable(s);
+    for (int i = 0; i < 20000; ++i) {
+      t->AppendRow({int32_t{i % 97}, int32_t{i % 7},
+                    static_cast<double>(i % 331)});
+    }
+    ASSERT_TRUE(catalog_.RegisterTable("t", t).ok());
+  }
+
+  Recycler MakeRecycler(bool partial = true) {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kSpeculation;
+    cfg.enable_subsumption = true;
+    cfg.enable_partial_reuse = partial;
+    return Recycler(&catalog_, cfg);
+  }
+
+  static PlanPtr RangeQuery(double lo, double hi) {
+    return PlanNode::Select(
+        PlanNode::Scan("t", {"a", "g", "v"}),
+        Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(lo)),
+                  Expr::Lt(Expr::Column("v"), Expr::Literal(hi))));
+  }
+
+  std::multiset<std::string> RunOff(const PlanPtr& plan) {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kOff;
+    Recycler off(&catalog_, cfg);
+    return RowMultiset(*off.Execute(plan).table);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PartialReuseTest, StitchedRangeEqualsColdExecution) {
+  Recycler rec = MakeRecycler();
+  rec.Execute(RangeQuery(10, 50));  // cached slice
+  ASSERT_GE(rec.graph().Stats().num_cached, 1);
+  ASSERT_GE(rec.interval_index_entries(), 1);
+
+  QueryTrace trace;
+  ExecResult r = rec.Execute(RangeQuery(30, 80), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(trace.num_reuses, 1);
+  EXPECT_EQ(rec.counters().partial_reuses.load(), 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(RangeQuery(30, 80)));
+}
+
+TEST_F(PartialReuseTest, DisabledFlagFallsBackToColdExecution) {
+  Recycler rec = MakeRecycler(/*partial=*/false);
+  rec.Execute(RangeQuery(10, 50));
+  QueryTrace trace;
+  ExecResult r = rec.Execute(RangeQuery(30, 80), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 0);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(RangeQuery(30, 80)));
+}
+
+TEST_F(PartialReuseTest, WorksWithSubsumptionDisabled) {
+  // Partial stitching is gated by its own flag, independent of the
+  // single-superset subsumption flag.
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  cfg.enable_subsumption = false;
+  cfg.enable_partial_reuse = true;
+  Recycler rec(&catalog_, cfg);
+  rec.Execute(RangeQuery(10, 50));
+  QueryTrace trace;
+  ExecResult r = rec.Execute(RangeQuery(30, 80), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(trace.num_subsumption_reuses, 0);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(RangeQuery(30, 80)));
+}
+
+TEST_F(PartialReuseTest, LimitOverStitchedSelectReturnsValidRows) {
+  // A stitched union is a BAG: branch order differs from cold execution
+  // (cached slices stream before delta scans), so an order-sensitive
+  // parent without a sort — Limit without OrderBy — may surface
+  // different, equally valid, qualifying rows. This pins the contract:
+  // right row count, every row drawn from the selection's result.
+  Recycler rec = MakeRecycler();
+  rec.Execute(RangeQuery(10, 50));
+
+  PlanPtr q = PlanNode::Limit(RangeQuery(30, 80), 5);
+  QueryTrace trace;
+  ExecResult r = rec.Execute(q, &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  ASSERT_EQ(r.table->num_rows(), 5);
+  std::multiset<std::string> all = RunOff(RangeQuery(30, 80));
+  for (int64_t i = 0; i < r.table->num_rows(); ++i) {
+    EXPECT_TRUE(all.count(recycledb::testing::RowKey(*r.table, i)) > 0);
+  }
+}
+
+TEST_F(PartialReuseTest, DeltaScanReusesCachedChildResult) {
+  // When the stitched node's child is itself cached, the delta scans
+  // must read the cached child instead of re-executing the child
+  // subtree (stitching must not preempt the reuse the plain miss path
+  // would have gotten).
+  static std::atomic<int64_t> calls{0};
+  static const Schema kFnSchema({{"a", TypeId::kInt32},
+                                 {"g", TypeId::kInt32},
+                                 {"v", TypeId::kDouble}});
+  TableFunction fn;
+  fn.name = "counting_rows_delta";
+  fn.schema_fn = [](const std::vector<Datum>&) { return kFnSchema; };
+  fn.base_tables = {"t"};
+  fn.eval_fn = [](const Catalog& catalog, const std::vector<Datum>&) {
+    calls.fetch_add(1);
+    TablePtr src = catalog.GetTable("t");
+    TablePtr out = MakeTable(kFnSchema);
+    for (int64_t i = 0; i < src->num_rows(); ++i) {
+      out->AppendRow({src->Get(i, 0), src->Get(i, 1), src->Get(i, 2)});
+    }
+    return out;
+  };
+  TableFunctionRegistry::Global().Register(fn);
+
+  auto fn_range = [](ExprPtr pred) {
+    return PlanNode::Select(
+        PlanNode::FunctionScan("counting_rows_delta", {}), std::move(pred));
+  };
+  ExprPtr qpred =
+      Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(10.0)),
+                Expr::Lt(Expr::Column("v"), Expr::Literal(90.0)));
+  std::multiset<std::string> expect;
+  {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kOff;
+    Recycler off(&catalog_, cfg);
+    expect = RowMultiset(*off.Execute(fn_range(qpred)).table);
+  }
+
+  Recycler rec = MakeRecycler();
+  // Seeds the slice (10, 40) AND caches the function-scan child itself
+  // (function scans are speculation targets).
+  rec.Execute(fn_range(Expr::And(
+      Expr::Gt(Expr::Column("v"), Expr::Literal(10.0)),
+      Expr::Lt(Expr::Column("v"), Expr::Literal(40.0)))));
+
+  int64_t calls_before = calls.load();
+  QueryTrace trace;
+  ExecResult r = rec.Execute(fn_range(qpred), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(trace.num_reuses, 2);  // the stitch + the child in the delta
+  EXPECT_EQ(calls.load(), calls_before);  // delta read the cached child
+  EXPECT_EQ(RowMultiset(*r.table), expect);
+}
+
+TEST_F(PartialReuseTest, MultiGapRemainderExecutesChildOnce) {
+  // A cached middle slice leaves gaps on BOTH sides; the gaps must merge
+  // into one delta scan (a disjunction of ranges), so an uncached child
+  // executes exactly once, not once per gap.
+  static std::atomic<int64_t> calls{0};
+  static const Schema kFnSchema({{"a", TypeId::kInt32},
+                                 {"g", TypeId::kInt32},
+                                 {"v", TypeId::kDouble}});
+  TableFunction fn;
+  fn.name = "counting_rows_gaps";
+  fn.schema_fn = [](const std::vector<Datum>&) { return kFnSchema; };
+  fn.base_tables = {"t"};
+  fn.eval_fn = [](const Catalog& catalog, const std::vector<Datum>&) {
+    calls.fetch_add(1);
+    TablePtr src = catalog.GetTable("t");
+    TablePtr out = MakeTable(kFnSchema);
+    for (int64_t i = 0; i < src->num_rows(); ++i) {
+      out->AppendRow({src->Get(i, 0), src->Get(i, 1), src->Get(i, 2)});
+    }
+    return out;
+  };
+  TableFunctionRegistry::Global().Register(fn);
+
+  auto fn_range = [](double lo, double hi) {
+    return PlanNode::Select(
+        PlanNode::FunctionScan("counting_rows_gaps", {}),
+        Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(lo)),
+                  Expr::Lt(Expr::Column("v"), Expr::Literal(hi))));
+  };
+  std::multiset<std::string> expect;
+  {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kOff;
+    Recycler off(&catalog_, cfg);
+    expect = RowMultiset(*off.Execute(fn_range(10, 90)).table);
+  }
+
+  // HIST mode: no speculation, so the function-scan child itself never
+  // gets cached; the second seed run caches only the middle slice.
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kHistory;
+  Recycler rec(&catalog_, cfg);
+  rec.Execute(fn_range(40, 60));
+  rec.Execute(fn_range(40, 60));
+  ASSERT_GE(rec.interval_index_entries(), 1);
+
+  int64_t calls_before = calls.load();
+  QueryTrace trace;
+  ExecResult r = rec.Execute(fn_range(10, 90), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(calls.load(), calls_before + 1);  // one delta, two gaps
+  EXPECT_EQ(RowMultiset(*r.table), expect);
+}
+
+TEST_F(PartialReuseTest, BoundaryEqualityDedup) {
+  // Two cached slices that share the boundary value 50 (both closed at
+  // it): stitching must emit rows with v == 50 exactly once.
+  Recycler rec = MakeRecycler();
+  rec.Execute(PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::Le(Expr::Column("v"), Expr::Literal(50.0))));
+  rec.Execute(PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::Ge(Expr::Column("v"), Expr::Literal(50.0))));
+  ASSERT_GE(rec.interval_index_entries(), 2);
+
+  QueryTrace trace;
+  ExecResult r = rec.Execute(RangeQuery(30, 80), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(RangeQuery(30, 80)));
+}
+
+TEST_F(PartialReuseTest, OpenEndedIntervals) {
+  // Cached one-sided slice v > 50 fully covers the query 60 < v <= 90.
+  Recycler rec = MakeRecycler();
+  rec.Execute(PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::Gt(Expr::Column("v"), Expr::Literal(50.0))));
+
+  PlanPtr q = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(60.0)),
+                Expr::Le(Expr::Column("v"), Expr::Literal(90.0))));
+  PlanPtr q2 = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(60.0)),
+                Expr::Le(Expr::Column("v"), Expr::Literal(90.0))));
+  QueryTrace trace;
+  ExecResult r = rec.Execute(q, &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(q2));
+
+  // Open-ended query over the open-ended slice (v > 55 from v > 50).
+  PlanPtr open = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::Gt(Expr::Column("v"), Expr::Literal(55.0)));
+  PlanPtr open2 = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::Gt(Expr::Column("v"), Expr::Literal(55.0)));
+  r = rec.Execute(open, &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(open2));
+}
+
+TEST_F(PartialReuseTest, ResidualConjunctCompensation) {
+  // The cached slice lacks the query's g = 3 filter; the stitcher must
+  // apply it as compensation on the reused piece.
+  Recycler rec = MakeRecycler();
+  rec.Execute(RangeQuery(10, 90));
+
+  PlanPtr q = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::And(Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(30.0)),
+                          Expr::Lt(Expr::Column("v"), Expr::Literal(80.0))),
+                Expr::Eq(Expr::Column("g"), Expr::Literal(int64_t{3}))));
+  PlanPtr q2 = PlanNode::Select(
+      PlanNode::Scan("t", {"a", "g", "v"}),
+      Expr::And(Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(30.0)),
+                          Expr::Lt(Expr::Column("v"), Expr::Literal(80.0))),
+                Expr::Eq(Expr::Column("g"), Expr::Literal(int64_t{3}))));
+  QueryTrace trace;
+  ExecResult r = rec.Execute(q, &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(q2));
+}
+
+TEST_F(PartialReuseTest, FullCoverByTwoSlicesSkipsChildExecution) {
+  // Child is a counting table function: when the union of two cached
+  // slices covers the query range completely (empty remainder), the
+  // stitched plan has no delta scan and the child must not run.
+  static std::atomic<int64_t> calls{0};
+  static const Schema kFnSchema({{"a", TypeId::kInt32},
+                                 {"g", TypeId::kInt32},
+                                 {"v", TypeId::kDouble}});
+  TableFunction fn;
+  fn.name = "counting_rows";
+  fn.schema_fn = [](const std::vector<Datum>&) { return kFnSchema; };
+  fn.base_tables = {"t"};
+  fn.eval_fn = [](const Catalog& catalog, const std::vector<Datum>&) {
+    calls.fetch_add(1);
+    TablePtr src = catalog.GetTable("t");
+    TablePtr out = MakeTable(kFnSchema);
+    for (int64_t i = 0; i < src->num_rows(); ++i) {
+      out->AppendRow({src->Get(i, 0), src->Get(i, 1), src->Get(i, 2)});
+    }
+    return out;
+  };
+  TableFunctionRegistry::Global().Register(fn);
+
+  auto fn_range = [](ExprPtr pred) {
+    return PlanNode::Select(PlanNode::FunctionScan("counting_rows", {}),
+                            std::move(pred));
+  };
+
+  Recycler rec = MakeRecycler();
+  rec.Execute(fn_range(Expr::Lt(Expr::Column("v"), Expr::Literal(40.0))));
+  rec.Execute(fn_range(Expr::Ge(Expr::Column("v"), Expr::Literal(40.0))));
+  ASSERT_GE(rec.interval_index_entries(), 2);
+
+  ExprPtr qpred =
+      Expr::And(Expr::Gt(Expr::Column("v"), Expr::Literal(10.0)),
+                Expr::Lt(Expr::Column("v"), Expr::Literal(90.0)));
+  std::multiset<std::string> expect;
+  {
+    RecyclerConfig cfg;
+    cfg.mode = RecyclerMode::kOff;
+    Recycler off(&catalog_, cfg);
+    expect = RowMultiset(*off.Execute(fn_range(qpred)).table);
+  }
+
+  int64_t calls_before = calls.load();
+  QueryTrace trace;
+  ExecResult r = rec.Execute(fn_range(qpred), &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(calls.load(), calls_before);  // empty remainder: no delta scan
+  EXPECT_EQ(RowMultiset(*r.table), expect);
+}
+
+TEST_F(PartialReuseTest, StitchedResultIsAdmittedAndWidensCoverage) {
+  Recycler rec = MakeRecycler();
+  rec.Execute(RangeQuery(10, 50));
+  int64_t cached_before = rec.graph().Stats().num_cached;
+
+  // Stitched query: reuse piece (30, 50) + delta scan [50, 80). Its own
+  // result is admitted (stitched-admission policy)...
+  QueryTrace trace;
+  rec.Execute(RangeQuery(30, 80), &trace);
+  ASSERT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_GT(rec.graph().Stats().num_cached, cached_before);
+
+  // ...so a third query inside (30, 80) is now fully covered by the
+  // stitched result: partial reuse again, with no delta remainder.
+  PlanPtr q = RangeQuery(35, 75);
+  PlanPtr q2 = RangeQuery(35, 75);
+  ExecResult r = rec.Execute(q, &trace);
+  EXPECT_EQ(trace.num_partial_reuses, 1);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(q2));
+}
+
+TEST_F(PartialReuseTest, InvalidateTableEvictsStitchedAndSlices) {
+  Recycler rec = MakeRecycler();
+  rec.Execute(RangeQuery(10, 50));
+  QueryTrace trace;
+  rec.Execute(RangeQuery(30, 80), &trace);
+  ASSERT_EQ(trace.num_partial_reuses, 1);
+  ASSERT_GE(rec.interval_index_entries(), 1);
+
+  rec.InvalidateTable("t");
+  EXPECT_EQ(rec.interval_index_entries(), 0);
+  EXPECT_EQ(rec.graph().Stats().num_cached, 0);
+
+  // Nothing left to stitch from: the rerun is a cold execution and must
+  // still be correct.
+  PlanPtr q = RangeQuery(30, 80);
+  PlanPtr q2 = RangeQuery(30, 80);
+  ExecResult r = rec.Execute(q, &trace);
+  EXPECT_EQ(trace.num_reuses, 0);
+  EXPECT_EQ(RowMultiset(*r.table), RunOff(q2));
+}
+
+TEST_F(PartialReuseTest, ApiSurfacesPartialHitStats) {
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kSpeculation;
+  std::unique_ptr<Database> db = Database::OpenOrDie(options);
+  ASSERT_TRUE(db->CreateTable("t", catalog_.GetTable("t")).ok());
+  auto session = db->Connect({});
+
+  Status st;
+  Query q = db->Scan("t", {"a", "g", "v"})
+                .Filter(Expr::And(
+                    Expr::Gt(Expr::Column("v"), Expr::Param("lo")),
+                    Expr::Lt(Expr::Column("v"), Expr::Param("hi"))));
+  auto stmt = session->Prepare(q, &st);
+  ASSERT_TRUE(st.ok());
+
+  Result seed = stmt->Execute({{"lo", 10.0}, {"hi", 50.0}});
+  ASSERT_TRUE(seed.ok());
+  Result hit = stmt->Execute({{"lo", 30.0}, {"hi", 80.0}});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.partial_reuses(), 1);
+  EXPECT_TRUE(hit.recycled());
+
+  EXPECT_EQ(session->stats().partial_reuses, 1);
+  TemplateStats ts = db->StatsForTemplate(stmt->template_hash());
+  EXPECT_EQ(ts.partial_reuses, 1);
+}
+
+TEST_F(PartialReuseTest, ConcurrentOverlappingRangesStayCorrect) {
+  // Overlapping range streams against one recycler: every result must
+  // equal its cold execution regardless of stitching/admission races.
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kSpeculation;
+  std::unique_ptr<Database> db = Database::OpenOrDie(options);
+  ASSERT_TRUE(db->CreateTable("t", catalog_.GetTable("t")).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 12;
+  std::vector<std::multiset<std::string>> expected;
+  std::vector<std::pair<double, double>> ranges;
+  for (int i = 0; i < kQueries; ++i) {
+    double lo = 5.0 * i;
+    double hi = lo + 60.0;
+    ranges.emplace_back(lo, hi);
+    expected.push_back(RunOff(RangeQuery(lo, hi)));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = db->Connect({});
+      for (int i = 0; i < kQueries; ++i) {
+        int pick = (i + t) % kQueries;
+        Result r = session->Execute(
+            RangeQuery(ranges[pick].first, ranges[pick].second));
+        if (!r.ok() || RowMultiset(*r.table()) != expected[pick]) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace recycledb
