@@ -1,0 +1,181 @@
+// Cold-tier restart warm-up benchmark.
+//
+// Section A (overlapping SkyServer region sweep): run the sweep against
+// a Database with a spill directory, close it (the shutdown checkpoint
+// persists the hot cache), reopen over the same directory and rerun the
+// identical sweep. The warm rerun must reach a reuse hit-rate within 10
+// points of the pre-restart run — served by cold-tier adoption instead
+// of starting from zero.
+//
+// Section B (disjoint windows): with no intra-run overlap the cold run's
+// hit-rate is ~0 — every process used to start from scratch. After a
+// restart over the spill directory the rerun answers (nearly) every
+// window from disk, which is the paper-scale motivation for the tier:
+// accumulated coverage becomes persistent capital.
+//
+// JSON (RECYCLEDB_JSON_OUT): one row per run with hit-rate and cold-hit
+// counters. Exits nonzero when either gate fails (CI bench-smoke runs
+// this).
+#include <filesystem>
+
+#include "bench_util.h"
+
+using namespace recycledb;
+using namespace recycledb::bench;
+
+namespace {
+
+struct SweepResult {
+  int queries = 0;
+  int hits = 0;  // queries that consumed at least one cached result
+  int64_t cold_hits = 0;
+  int64_t adoptions = 0;
+  int64_t spills = 0;
+  double total_ms = 0;
+  double HitRate() const {
+    return queries == 0 ? 0 : static_cast<double>(hits) / queries;
+  }
+};
+
+std::string MakeTempDir(const char* tag) {
+  std::string tmpl = EnvStr("TMPDIR", "/tmp") + "/rdb-bench-" + tag + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* d = mkdtemp(buf.data());
+  RDB_CHECK_MSG(d != nullptr, "cannot create bench spill dir");
+  return d;
+}
+
+RecyclerConfig SpillConfig(const std::string& dir) {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kSpeculation;
+  cfg.spill_dir = dir;
+  return cfg;
+}
+
+SweepResult RunSweep(Database* db, int num_queries, double window_deg,
+                     double step_deg, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<skyserver::SkyQuery> sweep =
+      skyserver::GenerateRegionSweep(num_queries, &rng, window_deg, step_deg);
+  SweepResult out;
+  Stopwatch sw;
+  int64_t cold0 = db->counters().cold_hits.load();
+  int64_t adopt0 = db->counters().cold_adoptions.load();
+  int64_t spill0 = db->counters().cold_spills.load();
+  for (skyserver::SkyQuery& q : sweep) {
+    Result r = db->Execute(std::move(q.plan));
+    RDB_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    ++out.queries;
+    if (r.recycled()) ++out.hits;
+  }
+  out.total_ms = sw.ElapsedMs();
+  out.cold_hits = db->counters().cold_hits.load() - cold0;
+  out.adoptions = db->counters().cold_adoptions.load() - adopt0;
+  out.spills = db->counters().cold_spills.load() - spill0;
+  return out;
+}
+
+void Report(JsonResultSink* sink, const char* phase, const SweepResult& r) {
+  std::printf("%-22s %8d %8d %9.1f%% %10lld %10lld %12.1f\n", phase,
+              r.queries, r.hits, 100 * r.HitRate(),
+              static_cast<long long>(r.cold_hits),
+              static_cast<long long>(r.adoptions), r.total_ms);
+  std::fflush(stdout);
+  JsonObject row;
+  row.Set("bench", "cold_tier")
+      .Set("phase", phase)
+      .Set("queries", static_cast<int64_t>(r.queries))
+      .Set("hits", static_cast<int64_t>(r.hits))
+      .Set("hit_rate", r.HitRate())
+      .Set("cold_hits", r.cold_hits)
+      .Set("cold_adoptions", r.adoptions)
+      .Set("cold_spills", r.spills)
+      .Set("total_ms", r.total_ms);
+  sink->Add(row);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t objects = skyserver::ObjectsFromEnv(60000);
+  const int num_queries =
+      static_cast<int>(EnvInt("RECYCLEDB_SWEEP_QUERIES", 30));
+
+  Catalog catalog;
+  skyserver::Setup(objects, &catalog);
+
+  PrintHeader(StrFormat(
+      "Cold tier: restart warm-up (%lld objects, %d-query region sweeps)",
+      static_cast<long long>(objects), num_queries));
+  std::printf("%-22s %8s %8s %10s %10s %10s %12s\n", "phase", "queries",
+              "hits", "hit-rate", "cold-hits", "adoptions", "total(ms)");
+
+  JsonResultSink sink;
+
+  // --- Section A: overlapping sweep, restart, identical rerun ----------
+  const std::string dir_a = MakeTempDir("overlap");
+  SweepResult pre, warm;
+  {
+    auto db = MakeDatabase(catalog, SpillConfig(dir_a));
+    pre = RunSweep(db.get(), num_queries, 8.0, 1.0, 20130408);
+    Report(&sink, "overlap pre-restart", pre);
+    // Database teardown checkpoints the hot cache into dir_a.
+  }
+  {
+    auto db = MakeDatabase(catalog, SpillConfig(dir_a));
+    warm = RunSweep(db.get(), num_queries, 8.0, 1.0, 20130408);
+    Report(&sink, "overlap warm rerun", warm);
+  }
+
+  // --- Section B: disjoint windows — cold start vs. restart rerun ------
+  const std::string dir_b = MakeTempDir("disjoint");
+  SweepResult cold, rerun;
+  {
+    auto db = MakeDatabase(catalog, SpillConfig(dir_b));
+    cold = RunSweep(db.get(), num_queries, 4.0, 4.0, 715517);
+    Report(&sink, "disjoint cold start", cold);
+  }
+  {
+    auto db = MakeDatabase(catalog, SpillConfig(dir_b));
+    rerun = RunSweep(db.get(), num_queries, 4.0, 4.0, 715517);
+    Report(&sink, "disjoint warm rerun", rerun);
+  }
+
+  std::string json_path = sink.WriteEnvPath();
+  if (!json_path.empty()) {
+    std::printf("\nJSON results written to %s\n", json_path.c_str());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir_a, ec);
+  std::filesystem::remove_all(dir_b, ec);
+
+  std::printf(
+      "\nExpected: the warm rerun re-admits the previous process's spilled "
+      "results, so its hit-rate matches the pre-restart run (A) and turns "
+      "the zero-overlap sweep's ~0%% into a near-total hit-rate (B).\n");
+
+  // Gate 1 (acceptance): warm-rerun hit-rate within 10 points of the
+  // pre-restart run.
+  if (warm.HitRate() < pre.HitRate() - 0.10) {
+    std::fprintf(stderr,
+                 "FAIL: warm rerun hit-rate %.3f more than 10 points below "
+                 "pre-restart %.3f\n",
+                 warm.HitRate(), pre.HitRate());
+    return 1;
+  }
+  if (warm.cold_hits <= 0) {
+    std::fprintf(stderr, "FAIL: warm rerun recorded no cold hits\n");
+    return 1;
+  }
+  // Gate 2: restart converts the disjoint sweep from ~no reuse into
+  // mostly-from-disk reuse.
+  if (rerun.HitRate() < cold.HitRate() + 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: disjoint rerun hit-rate %.3f not >= cold start "
+                 "%.3f + 0.5\n",
+                 rerun.HitRate(), cold.HitRate());
+    return 1;
+  }
+  return 0;
+}

@@ -50,6 +50,22 @@ Status ValidateRecyclerConfig(const RecyclerConfig& config) {
         StrFormat("cube_distinct_threshold must be >= 0 (got %lld)",
                   (long long)config.cube_distinct_threshold));
   }
+  // Cold-tier options. The threshold is checked unconditionally (a
+  // negative benefit is impossible, so a negative threshold is always a
+  // mistake); the capacity only matters once a spill_dir enables the
+  // tier.
+  if (!(config.spill_min_benefit >= 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("spill_min_benefit must be >= 0 (got %g)",
+                  config.spill_min_benefit));
+  }
+  if (!config.spill_dir.empty() && config.cold_tier_capacity_bytes <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("cold_tier_capacity_bytes must be positive when "
+                  "spill_dir is set (got %lld); leave spill_dir empty to "
+                  "disable the cold tier",
+                  (long long)config.cold_tier_capacity_bytes));
+  }
   return Status::OK();
 }
 
@@ -64,6 +80,11 @@ Status Database::Open(DatabaseOptions options, std::unique_ptr<Database>* out) {
     return Status::InvalidArgument(
         StrFormat("async_threads must be positive (got %d)",
                   options.async_threads));
+  }
+  if (!options.recycler.spill_dir.empty()) {
+    // Probe the directory now so an unwritable spill_dir surfaces here
+    // as an actionable Status instead of silently degrading later.
+    RDB_RETURN_NOT_OK(ColdTier::ValidateSpillDir(options.recycler.spill_dir));
   }
   out->reset(new Database(std::move(options)));
   return Status::OK();

@@ -40,8 +40,11 @@ struct DatabaseOptions {
 
 /// Validates recycler tunables, returning InvalidArgument for nonsense
 /// (negative speculation_h, non-positive stall timeout, sub-4KB positive
-/// cache budgets, aging alpha outside (0, 1], ...). cache_bytes == 0
-/// (cache disabled) and cache_bytes < 0 (unlimited) are both valid.
+/// cache budgets, aging alpha outside (0, 1], negative spill_min_benefit,
+/// non-positive cold_tier_capacity_bytes with a spill_dir set, ...).
+/// cache_bytes == 0 (cache disabled) and cache_bytes < 0 (unlimited) are
+/// both valid. Whether spill_dir itself is usable is an I/O question and
+/// is probed by Database::Open, not here.
 Status ValidateRecyclerConfig(const RecyclerConfig& config);
 
 /// The embeddable engine facade: owns the catalog, the recycler, the
@@ -50,7 +53,11 @@ Status ValidateRecyclerConfig(const RecyclerConfig& config);
 class Database {
  public:
   /// Validates `options` and constructs the engine. On failure `*out` is
-  /// untouched and the status says which option is invalid.
+  /// untouched and the status says which option is invalid (including an
+  /// unwritable `recycler.spill_dir`, which is probed here). With a
+  /// spill_dir set, Open scans the directory and adopts spill files left
+  /// by a previous process, so the recycler warms up from disk instead
+  /// of starting cold.
   static Status Open(DatabaseOptions options, std::unique_ptr<Database>* out);
 
   /// Convenience for tools and benches: aborts on invalid options.

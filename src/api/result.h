@@ -69,6 +69,9 @@ class Result {
   /// Reuses answered by stitching overlapping cached range slices
   /// (partial-match subsumption); counted inside reuses() as well.
   int partial_reuses() const { return trace_.num_partial_reuses; }
+  /// Reuses served by lazily re-admitting a spilled result from the
+  /// on-disk cold tier; counted inside reuses() as well.
+  int cold_hits() const { return trace_.num_cold_hits; }
   /// Results this query added to the recycler cache.
   int materialized() const { return trace_.num_materialized; }
   /// Executions of this query's template before this one (0 for ad-hoc).

@@ -149,6 +149,7 @@ void Session::Record(const Result& result) {
   stats_.reuses += result.reuses();
   stats_.subsumption_reuses += result.subsumption_reuses();
   stats_.partial_reuses += result.partial_reuses();
+  stats_.cold_hits += result.cold_hits();
   stats_.materializations += result.materialized();
   stats_.stalls += result.trace().num_stalls;
   stats_.total_ms += result.total_ms();

@@ -51,6 +51,9 @@ struct SessionStats {
   int64_t subsumption_reuses = 0;
   /// Reuses answered by partial-range stitching.
   int64_t partial_reuses = 0;
+  /// Reuses served by loading a spilled result from the cold tier
+  /// (counted inside reuses as well).
+  int64_t cold_hits = 0;
   /// Results this session's queries added to the cache.
   int64_t materializations = 0;
   /// Waits on another stream's in-flight materialization.

@@ -1,0 +1,240 @@
+#include "recycler/cold_tier.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fs = std::filesystem;
+
+namespace recycledb {
+
+Status ColdTier::ValidateSpillDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument(
+        StrFormat("spill_dir %s cannot be created: %s", dir.c_str(),
+                  ec.message().c_str()));
+  }
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument(
+        StrFormat("spill_dir %s is not a directory", dir.c_str()));
+  }
+  const std::string probe = dir + "/.rdb-probe";
+  std::FILE* f = std::fopen(probe.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("spill_dir %s is not writable", dir.c_str()));
+  }
+  std::fclose(f);
+  std::remove(probe.c_str());
+  return Status::OK();
+}
+
+Status ColdTier::Open(const std::string& dir, int64_t capacity_bytes) {
+  if (dir.empty()) return Status::OK();
+  RDB_RETURN_NOT_OK(ValidateSpillDir(dir));
+  std::lock_guard<std::mutex> lock(mu_);
+  dir_ = dir;
+  capacity_bytes_ = capacity_bytes;
+
+  // Scan: drop torn writes, keep readable spill files as orphans. A
+  // duplicate canonical key keeps the later-scanned file (both images
+  // are equivalent; results are immutable).
+  std::error_code ec;
+  std::vector<fs::path> to_delete;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() == ".tmp") {
+      to_delete.push_back(p);
+      continue;
+    }
+    if (p.extension() != ".spill") continue;
+    SpillFileMeta meta;
+    if (!ReadSpillMeta(p.string(), &meta).ok()) {
+      to_delete.push_back(p);  // unreadable header: never adoptable
+      continue;
+    }
+    std::error_code size_ec;
+    int64_t bytes = static_cast<int64_t>(fs::file_size(p, size_ec));
+    if (size_ec) {
+      to_delete.push_back(p);
+      continue;
+    }
+    auto dup = by_key_.find(meta.canon_key);
+    if (dup != by_key_.end()) {
+      to_delete.push_back(dup->second->path);
+      used_bytes_ -= dup->second->bytes;
+      clock_.erase(dup->second);
+      by_key_.erase(dup);
+      num_orphans_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Rec rec;
+    rec.path = p.string();
+    rec.canon_key = meta.canon_key;
+    rec.bytes = bytes;
+    rec.second_chance = true;  // restart entries get one grace round
+    rec.meta = std::move(meta);
+    clock_.push_back(std::move(rec));
+    by_key_[clock_.back().canon_key] = std::prev(clock_.end());
+    used_bytes_ += bytes;
+    num_orphans_.fetch_add(1, std::memory_order_relaxed);
+    // File counter must clear existing names so a fresh spill never
+    // collides with (and silently overwrites) a recovered file.
+    ++next_file_id_;
+  }
+  for (const fs::path& p : to_delete) fs::remove(p, ec);
+
+  // An over-cap directory (cap lowered across restarts) is trimmed
+  // immediately, oldest-scanned first.
+  std::vector<const RGNode*> dropped;
+  SweepToFit(0, &dropped);
+  RDB_CHECK(dropped.empty());  // nothing is live yet
+
+  enabled_ = true;
+  return Status::OK();
+}
+
+std::string ColdTier::FilePath(uint64_t name_hash) const {
+  return StrFormat("%s/r%016llx-%llu.spill", dir_.c_str(),
+                   static_cast<unsigned long long>(name_hash),
+                   static_cast<unsigned long long>(next_file_id_));
+}
+
+bool ColdTier::Has(const RGNode* node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.count(node) > 0;
+}
+
+void ColdTier::EvictRec(ClockIt it, std::vector<const RGNode*>* dropped_nodes) {
+  if (it->node != nullptr) {
+    live_.erase(it->node);
+    if (dropped_nodes != nullptr) dropped_nodes->push_back(it->node);
+  } else {
+    num_orphans_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  by_key_.erase(it->canon_key);
+  used_bytes_ -= it->bytes;
+  std::remove(it->path.c_str());
+  clock_.erase(it);
+}
+
+bool ColdTier::SweepToFit(int64_t need_bytes,
+                          std::vector<const RGNode*>* dropped_nodes) {
+  // Second chance: referenced entries get their bit cleared and one more
+  // round at the back; each entry is re-queued at most once per sweep,
+  // so the loop terminates.
+  size_t requeues_left = clock_.size();
+  while (used_bytes_ + need_bytes > capacity_bytes_ && !clock_.empty()) {
+    ClockIt front = clock_.begin();
+    if (front->second_chance && requeues_left > 0) {
+      front->second_chance = false;
+      --requeues_left;
+      clock_.splice(clock_.end(), clock_, front);  // iterators stay valid
+      continue;
+    }
+    EvictRec(front, dropped_nodes);
+  }
+  return used_bytes_ + need_bytes <= capacity_bytes_;
+}
+
+bool ColdTier::Spill(const RGNode* node, const std::string& canon_key,
+                     const Table& table, const SpillFileMeta& meta,
+                     std::vector<const RGNode*>* dropped_nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  if (live_.count(node) > 0) return true;  // image already on disk
+
+  // Write the fresh image BEFORE superseding any leftover entry under
+  // the same key (an unadopted orphan from a prior incarnation of this
+  // result): a failed write — disk full is the likely case — must not
+  // destroy a still-valid image.
+  const std::string path = FilePath(HashString(canon_key));
+  ++next_file_id_;
+  if (!WriteSpillFile(path, table, meta).ok()) return false;
+  std::error_code ec;
+  int64_t bytes = static_cast<int64_t>(fs::file_size(path, ec));
+  if (ec) bytes = table.ByteSize();
+  if (bytes > capacity_bytes_) {
+    std::remove(path.c_str());
+    return false;
+  }
+  auto dup = by_key_.find(canon_key);
+  if (dup != by_key_.end()) EvictRec(dup->second, dropped_nodes);
+  if (!SweepToFit(bytes, dropped_nodes)) {
+    std::remove(path.c_str());
+    return false;
+  }
+  Rec rec;
+  rec.path = path;
+  rec.canon_key = canon_key;
+  rec.bytes = bytes;
+  rec.second_chance = false;  // earns its bit on first cold hit
+  rec.node = node;
+  rec.meta = meta;
+  clock_.push_back(std::move(rec));
+  ClockIt it = std::prev(clock_.end());
+  live_[node] = it;
+  by_key_[it->canon_key] = it;
+  used_bytes_ += bytes;
+  return true;
+}
+
+Status ColdTier::Load(const RGNode* node, TablePtr* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(node);
+  if (it == live_.end()) {
+    return Status::NotFound("no live cold-tier entry for node");
+  }
+  SpillFileMeta meta;
+  Status st = ReadSpillTable(it->second->path, &meta, out);
+  if (st.ok()) it->second->second_chance = true;
+  return st;
+}
+
+bool ColdTier::AdoptOrphan(const std::string& canon_key, const RGNode* node,
+                           SpillFileMeta* meta, int64_t* bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(canon_key);
+  if (it == by_key_.end() || it->second->node != nullptr) return false;
+  it->second->node = node;
+  live_[node] = it->second;
+  num_orphans_.fetch_sub(1, std::memory_order_relaxed);
+  *meta = it->second->meta;
+  *bytes = it->second->bytes;
+  return true;
+}
+
+void ColdTier::Remove(const RGNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(node);
+  if (it == live_.end()) return;
+  EvictRec(it->second, /*dropped_nodes=*/nullptr);
+}
+
+void ColdTier::PurgeTable(const std::string& table,
+                          std::vector<const RGNode*>* dropped_nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = clock_.begin(); it != clock_.end();) {
+    ClockIt cur = it++;
+    bool hit = false;
+    for (const std::string& t : cur->meta.base_tables) hit |= (t == table);
+    if (hit) EvictRec(cur, dropped_nodes);
+  }
+}
+
+ColdTierStats ColdTier::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ColdTierStats s;
+  s.entries = static_cast<int64_t>(clock_.size());
+  s.orphans = num_orphans_.load(std::memory_order_relaxed);
+  s.used_bytes = used_bytes_;
+  s.capacity_bytes = capacity_bytes_;
+  return s;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,155 @@
+// The cold tier: a size-bounded on-disk spill directory below the
+// in-memory benefit cache.
+//
+// When the hot cache evicts a result whose benefit still exceeds the
+// configured spill threshold, the recycler serializes it into a spill
+// file (storage/spill_file.h) and flips the node to MatState::kCold; the
+// node stays registered in the graph and the interval index, so exact,
+// subsumption and partial-stitch lookups keep finding it and lazily
+// re-admit it (load from disk -> promote to hot -> serve) instead of
+// re-executing the subtree. On process start the tier scans its
+// directory and keeps every readable entry as an *orphan* keyed by the
+// canonical subtree key; newly inserted graph nodes probe that map and
+// adopt matching orphans, which is how a restart warms up from disk.
+//
+// Replacement is second-chance at a byte cap: entries sit on a clock
+// list, loads set their reference bit, and an over-cap spill sweeps the
+// clock — referenced entries get one more round, unreferenced ones are
+// deleted. Files survive promotion back to the hot tier (results are
+// immutable, so the image never goes stale), which makes later
+// demotions free and lets a shutdown checkpoint skip already-spilled
+// entries; invalidation is the only path that must delete files.
+//
+// Thread-safety: internally synchronized by one leaf mutex, acquired
+// after the recycler's graph/cache locks and never held across calls
+// back into them (lock order: graph mutex -> cache mutex -> cold-tier
+// mutex, with the mat shard mutex independent below the cache mutex;
+// see DESIGN.md "Cold tier"). Spill and load perform file I/O under the
+// mutex: both are slow paths by definition (an eviction or a miss that
+// would otherwise re-execute a subtree).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/spill_file.h"
+
+namespace recycledb {
+
+struct RGNode;
+
+/// Point-in-time snapshot of the tier (diagnostics, tests, benches).
+struct ColdTierStats {
+  int64_t entries = 0;        // live + orphan
+  int64_t orphans = 0;        // entries not yet adopted by a graph node
+  int64_t used_bytes = 0;
+  int64_t capacity_bytes = 0;
+};
+
+class ColdTier {
+ public:
+  ColdTier() = default;
+
+  // Non-copyable (owns file-backed state).
+  ColdTier(const ColdTier&) = delete;
+  ColdTier& operator=(const ColdTier&) = delete;
+
+  /// Validates that `dir` can be created and written (probe file). Used
+  /// by Database::Open so an unusable spill_dir surfaces as a
+  /// recoverable, actionable Status before the engine is constructed.
+  static Status ValidateSpillDir(const std::string& dir);
+
+  /// Opens the tier over `dir` with a byte cap: creates the directory,
+  /// deletes stale .tmp files, and scans *.spill into the orphan map
+  /// (unreadable or duplicate-key files are deleted, newest key wins).
+  /// An empty `dir` leaves the tier disabled and returns OK.
+  Status Open(const std::string& dir, int64_t capacity_bytes);
+
+  bool enabled() const { return enabled_; }
+
+  /// Cheap pre-check for the adoption probe on graph insertion.
+  bool has_orphans() const {
+    return num_orphans_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// True when `node` has a live spill file.
+  bool Has(const RGNode* node) const;
+
+  /// Writes `table` as `node`'s spill file (no-op true if one is already
+  /// live). Runs the second-chance sweep to fit the byte cap first;
+  /// evicted entries that belong to live nodes are appended to
+  /// `dropped_nodes` so the caller can demote their graph state. Returns
+  /// false when the result cannot fit (larger than the cap, or the sweep
+  /// could not free enough) or the write fails — the caller degrades to
+  /// memory-only behavior.
+  bool Spill(const RGNode* node, const std::string& canon_key,
+             const Table& table, const SpillFileMeta& meta,
+             std::vector<const RGNode*>* dropped_nodes);
+
+  /// Loads `node`'s spilled result and sets its second-chance bit.
+  /// NotFound when the node has no live entry (e.g. it was swept between
+  /// the state check and the load); other errors mean a corrupt file —
+  /// the caller should Remove(node) and treat it as a miss.
+  Status Load(const RGNode* node, TablePtr* out);
+
+  /// Claims the orphan under `canon_key` for `node` (making it live) and
+  /// returns its metadata. False when no orphan has that key.
+  bool AdoptOrphan(const std::string& canon_key, const RGNode* node,
+                   SpillFileMeta* meta, int64_t* bytes);
+
+  /// Deletes `node`'s entry and file (invalidation, corrupt file).
+  void Remove(const RGNode* node);
+
+  /// Deletes every entry (live or orphan) whose subtree reads `table`
+  /// (update invalidation: stale cold results must never be re-admitted).
+  /// Live nodes whose entries were purged are appended to
+  /// `dropped_nodes` for graph-state demotion by the caller.
+  void PurgeTable(const std::string& table,
+                  std::vector<const RGNode*>* dropped_nodes);
+
+  ColdTierStats Stats() const;
+
+ private:
+  struct Rec {
+    std::string path;
+    std::string canon_key;
+    int64_t bytes = 0;
+    bool second_chance = false;
+    /// Owning graph node; nullptr for orphans awaiting adoption.
+    const RGNode* node = nullptr;
+    SpillFileMeta meta;  // header copy (adoption re-seeds node stats)
+  };
+  using ClockIt = std::list<Rec>::iterator;
+
+  /// Erases `it` from every map, deletes its file, adjusts accounting.
+  /// Caller holds mu_.
+  void EvictRec(ClockIt it, std::vector<const RGNode*>* dropped_nodes);
+
+  /// Second-chance sweep until `need_bytes` fit under the cap. Caller
+  /// holds mu_. Returns false when the clock ran dry without fitting.
+  bool SweepToFit(int64_t need_bytes,
+                  std::vector<const RGNode*>* dropped_nodes);
+
+  std::string FilePath(uint64_t name_hash) const;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::string dir_;
+  int64_t capacity_bytes_ = 0;
+  int64_t used_bytes_ = 0;
+  uint64_t next_file_id_ = 0;
+  /// Clock order (front = next sweep victim).
+  std::list<Rec> clock_;
+  std::unordered_map<const RGNode*, ClockIt> live_;
+  std::unordered_map<std::string, ClockIt> by_key_;
+  std::atomic<int64_t> num_orphans_{0};
+};
+
+}  // namespace recycledb

@@ -110,9 +110,12 @@ GraphStats RecyclerGraph::Stats() const {
   s.num_nodes = static_cast<int64_t>(nodes_.size());
   for (const auto& n : nodes_) {
     if (n->children.empty()) ++s.num_leaves;
-    if (n->mat_state.load() == MatState::kCached) {
+    MatState ms = n->mat_state.load();
+    if (ms == MatState::kCached) {
       ++s.num_cached;
       s.cached_bytes += n->cached_bytes.load();
+    } else if (ms == MatState::kCold) {
+      ++s.num_cold;
     }
   }
   return s;

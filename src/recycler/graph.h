@@ -23,7 +23,9 @@ namespace recycledb {
 enum class MatState : uint8_t {
   kNone,      // not materialized
   kInFlight,  // some query is currently computing + materializing it
-  kCached,    // result available in the recycler cache
+  kCached,    // result available in the recycler cache (hot tier)
+  kCold,      // result spilled to the on-disk cold tier; reuse lookups
+              // lazily re-admit it (load -> promote -> serve)
 };
 
 /// Adds `delta` to an atomic double (C++17 has no fetch_add for doubles),
@@ -148,6 +150,8 @@ struct GraphStats {
   int64_t num_leaves = 0;
   int64_t num_cached = 0;
   int64_t cached_bytes = 0;
+  /// Nodes whose result currently lives only in the cold tier.
+  int64_t num_cold = 0;
 };
 
 /// The recycler graph container.

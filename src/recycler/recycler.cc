@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/macros.h"
@@ -113,6 +114,270 @@ Recycler::Recycler(const Catalog* catalog, RecyclerConfig config)
              config.cache_policy),
       executor_(catalog) {
   RDB_CHECK(catalog != nullptr);
+  // Database::Open pre-validates the directory and returns an actionable
+  // Status; direct constructions with an unusable spill_dir degrade to
+  // memory-only behavior rather than aborting.
+  if (!config_.spill_dir.empty()) {
+    cold_tier_.Open(config_.spill_dir, config_.cold_tier_capacity_bytes)
+        .ok();
+  }
+}
+
+Recycler::~Recycler() { CheckpointColdTier(); }
+
+// ---------------------------------------------------------------------------
+// Cold tier (the persistent second-tier result cache)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Rewrites every "#<digits>" node-id suffix in `s` through `canon_ids`
+/// (graph node id -> subtree pre-order index). Ids outside the map are
+/// kept verbatim (base-table column names never carry a suffix; the only
+/// way to hit this is a user column literally named like a suffix, which
+/// at worst costs a cold miss because the key never matches again).
+std::string CanonicalizeIdSuffixes(
+    const std::string& s, const std::map<int64_t, int>& canon_ids) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size();) {
+    if (s[i] != '#') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < s.size() && s[j] >= '0' && s[j] <= '9') ++j;
+    if (j == i + 1) {
+      out.push_back(s[i++]);
+      continue;
+    }
+    int64_t id = std::atoll(s.substr(i + 1, j - i - 1).c_str());
+    auto it = canon_ids.find(id);
+    if (it == canon_ids.end()) {
+      out.append(s, i, j - i);
+    } else {
+      out += "#@" + std::to_string(it->second);
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Recycler::CanonicalSubtreeKey(const RGNode* node) const {
+  // Pre-order id numbering makes the rewritten suffixes independent of
+  // graph insertion order (and therefore stable across restarts).
+  std::map<int64_t, int> canon_ids;
+  struct Numberer {
+    std::map<int64_t, int>* ids;
+    void Walk(const RGNode* n) {
+      if (ids->emplace(n->id, static_cast<int>(ids->size())).second) {
+        for (const RGNode* c : n->children) Walk(c);
+      }
+    }
+  };
+  Numberer{&canon_ids}.Walk(node);
+
+  struct Printer {
+    const std::map<int64_t, int>* ids;
+    std::string Walk(const RGNode* n) {
+      std::string out = std::to_string(static_cast<int>(n->type)) + "{" +
+                        CanonicalizeIdSuffixes(n->param_fp, *ids) + "}";
+      if (!n->children.empty()) {
+        out += "(";
+        for (size_t i = 0; i < n->children.size(); ++i) {
+          if (i > 0) out += ";";
+          out += Walk(n->children[i]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+  };
+  return Printer{&canon_ids}.Walk(node);
+}
+
+bool Recycler::MaybeSpill(RGNode* node) {
+  if (!cold_tier_.enabled()) return false;
+  if (cold_tier_.Has(node)) return true;  // demotion fast path
+  double benefit = BenefitOf(node);
+  if (benefit < config_.spill_min_benefit) return false;
+  TablePtr snapshot;
+  {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    snapshot = node->cached;
+  }
+  if (snapshot == nullptr) return false;
+
+  SpillFileMeta meta;
+  meta.canon_key = CanonicalSubtreeKey(node);
+  meta.column_names = node->output_names;
+  meta.column_types = node->output_types;
+  meta.num_rows = snapshot->num_rows();
+  meta.bcost_ms = node->bcost_ms.load();
+  graph_.FoldAging(node);
+  meta.h = node->h.load();
+  meta.benefit = benefit;
+  meta.base_tables.assign(node->base_tables.begin(), node->base_tables.end());
+
+  std::vector<const RGNode*> dropped;
+  bool ok = cold_tier_.Spill(node, meta.canon_key, *snapshot, meta, &dropped);
+  for (const RGNode* d : dropped) {
+    OnColdEntryDropped(const_cast<RGNode*>(d));
+  }
+  if (ok) counters_.cold_spills.fetch_add(1);
+  return ok;
+}
+
+void Recycler::OnColdEntryDropped(RGNode* node) {
+  // All kCold transitions are serialized by cache_mu_ (held here), so
+  // the state cannot flip between the check and the store.
+  counters_.cold_evictions.fetch_add(1);
+  if (node->mat_state.load() != MatState::kCold) return;  // hot copy stays
+  interval_index_.Remove(node);
+  SetMatState(node, MatState::kNone, /*clear_cached=*/true);
+}
+
+void Recycler::HandleHotEviction(RGNode* victim) {
+  UpdateHrOnEvict(victim);
+  counters_.evictions.fetch_add(1);
+  if (MaybeSpill(victim)) {
+    // The result survives below the hot tier: keep the interval-index
+    // registrations (cold slices still serve stitch lookups) and flip
+    // to kCold. The cached TablePtr itself is released.
+    SetMatState(victim, MatState::kCold, /*clear_cached=*/true);
+  } else {
+    interval_index_.Remove(victim);
+    SetMatState(victim, MatState::kNone, /*clear_cached=*/true);
+  }
+}
+
+TablePtr Recycler::SnapshotOrReadmit(RGNode* node, PreparedQuery* prepared,
+                                     bool* from_cold) {
+  *from_cold = prepared->cold_loaded_.count(node) > 0;
+  {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    MatState ms = node->mat_state.load();
+    if (ms == MatState::kCached) return node->cached;
+    if (ms != MatState::kCold) return nullptr;
+  }
+  TablePtr loaded = ReadmitCold(node);
+  if (loaded != nullptr) {
+    prepared->cold_loaded_.insert(node);
+    *from_cold = true;
+  }
+  return loaded;
+}
+
+TablePtr Recycler::ReadmitCold(RGNode* node) {
+  TablePtr loaded;
+  Status st = cold_tier_.Load(node, &loaded);
+  if (st.code() == StatusCode::kNotFound) {
+    // Swept away between the state check and the load: a plain miss.
+    return nullptr;
+  }
+  if (!st.ok()) {
+    // Corrupt/truncated file: recoverable — drop the dead entry so no
+    // later query retries it, and re-execute this one.
+    counters_.cold_load_errors.fetch_add(1);
+    std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    cold_tier_.Remove(node);
+    if (node->mat_state.load() == MatState::kCold) {
+      interval_index_.Remove(node);
+      SetMatState(node, MatState::kNone, /*clear_cached=*/true);
+    }
+    return nullptr;
+  }
+  TablePtr named = loaded->RenameColumns(node->output_names);
+
+  // Promote to the hot tier when admission allows; a rejected promotion
+  // still serves the loaded snapshot (one-shot) and leaves the entry
+  // cold for the next hit.
+  std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+  graph_.FoldAging(node);
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    MatState ms = node->mat_state.load();
+    if (ms == MatState::kCached) {
+      // Another stream promoted it while we were loading.
+      RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+      std::lock_guard<std::mutex> slock(shard.mu);
+      return node->cached != nullptr ? node->cached : named;
+    }
+    if (ms != MatState::kCold) return named;  // purged meanwhile
+    const int64_t bytes = std::max<int64_t>(1, named->ByteSize());
+    node->cached_bytes.store(bytes);
+    node->size_bytes.store(static_cast<double>(bytes));
+    node->has_size.store(true);
+    std::vector<RGNode*> evicted;
+    admitted = cache_.Admit(node, BenefitOf(node), &evicted);
+    for (RGNode* v : evicted) HandleHotEviction(v);
+    if (admitted) {
+      RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+      {
+        std::lock_guard<std::mutex> slock(shard.mu);
+        node->cached = named;
+        node->mat_state.store(MatState::kCached);
+      }
+      shard.cv.notify_all();
+      RegisterIntervals(node);  // idempotent for retained registrations
+    }
+  }
+  if (admitted) {
+    UpdateHrOnMaterialize(node);
+    counters_.cold_readmissions.fetch_add(1);
+  }
+  return named;
+}
+
+void Recycler::TryAdoptOrphan(RGNode* node) {
+  // Caller holds the exclusive graph lock, which excludes every spill /
+  // sweep path (those hold it shared), so the adopted entry cannot be
+  // evicted mid-adoption.
+  if (!cold_tier_.has_orphans() || !CacheableType(node->type)) return;
+  if (node->mat_state.load() != MatState::kNone) return;
+  SpillFileMeta meta;
+  int64_t bytes = 0;
+  if (!cold_tier_.AdoptOrphan(CanonicalSubtreeKey(node), node, &meta,
+                              &bytes)) {
+    return;
+  }
+  if (meta.column_types != node->output_types) {
+    // Schema drift (same structure, different types): never serve it.
+    cold_tier_.Remove(node);
+    return;
+  }
+  node->bcost_ms.store(meta.bcost_ms);
+  node->has_bcost.store(true);
+  node->rows.store(meta.num_rows);
+  node->size_bytes.store(static_cast<double>(std::max<int64_t>(1, bytes)));
+  node->has_size.store(true);
+  node->h.store(meta.h);
+  node->h_epoch.store(graph_.epoch());
+  SetMatState(node, MatState::kCold);
+  {
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    RegisterIntervals(node);
+  }
+  counters_.cold_adoptions.fetch_add(1);
+}
+
+int64_t Recycler::CheckpointColdTier() {
+  if (!cold_tier_.enabled()) return 0;
+  std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+  std::lock_guard<std::mutex> clock(cache_mu_);
+  int64_t written = 0;
+  for (RGNode* node : cache_.Entries()) {
+    if (cold_tier_.Has(node)) continue;
+    if (BenefitOf(node) < config_.spill_min_benefit) continue;
+    if (MaybeSpill(node)) ++written;
+  }
+  return written;
 }
 
 // ---------------------------------------------------------------------------
@@ -309,6 +574,10 @@ void Recycler::InsertMissing(MNode* m, int64_t query_id) {
   }
   m->gnode = InsertOne(*m->plan, child_g, &m->mapping, query_id);
   m->inserted = true;
+  // Restart warm-up: a node inserted for the first time in this process
+  // may have a spilled image from a previous one — adopt it so the reuse
+  // rewriter below can serve this very query from disk.
+  TryAdoptOrphan(m->gnode);
 }
 
 // ---------------------------------------------------------------------------
@@ -393,6 +662,12 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
         snapshot = g->cached;
       }
     }
+    bool exact_from_cold = false;
+    if (snapshot == nullptr) {
+      // Cold tier: a spilled result answers an exact match by lazy
+      // re-admission (load from disk, promote when admittable, serve).
+      snapshot = SnapshotOrReadmit(g, prepared, &exact_from_cold);
+    }
     if (snapshot != nullptr) {
       PlanPtr cs =
           PlanNode::CachedScan(snapshot, plan->output_schema().Names());
@@ -400,6 +675,10 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       m->replaced = true;
       ++prepared->trace_.num_reuses;
       counters_.reuses.fetch_add(1);
+      if (exact_from_cold) {
+        ++prepared->trace_.num_cold_hits;
+        counters_.cold_hits.fetch_add(1);
+      }
       if (config_.cache_policy == CachePolicy::kLru) {
         std::lock_guard<std::mutex> clock(cache_mu_);
         cache_.TouchForLru(g);
@@ -414,28 +693,44 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
         m->children.size() == 1 && m->children[0]->gnode != nullptr) {
       RGNode* child_gnode = m->children[0]->gnode;
 
-      // Single-superset subsumption (§IV-A).
+      // Single-superset subsumption (§IV-A). Candidate parents are
+      // collected under the shared lock; their snapshots are taken
+      // outside it because a kCold candidate re-admits from disk, and
+      // promotion itself acquires the graph lock. The raw pointers stay
+      // valid: truncation requires a quiescent point, and this query is
+      // inside its Prepare window.
       if (config_.enable_subsumption) {
-        SubsumptionPlan derived;
-        RGNode* subsumer = nullptr;
+        std::vector<RGNode*> hot_cands;
+        std::vector<RGNode*> cold_cands;
         {
           std::shared_lock<std::shared_mutex> glock(graph_.mutex());
           std::unordered_set<RGNode*> seen;
           for (const auto& [hk, parent] : child_gnode->parents) {
             if (parent == g || !seen.insert(parent).second) continue;
-            TablePtr cached;
-            {
-              RecyclerGraph::MatShard& shard = graph_.mat_shard(parent);
-              std::lock_guard<std::mutex> mlock(shard.mu);
-              if (parent->mat_state.load() != MatState::kCached) continue;
-              cached = parent->cached;
-            }
-            derived = TrySubsumption(*m->plan, m->children[0]->mapping,
-                                     *parent, cached);
-            if (derived.plan != nullptr) {
-              subsumer = parent;
-              break;
-            }
+            MatState ms = parent->mat_state.load();
+            if (ms == MatState::kCached) hot_cands.push_back(parent);
+            if (ms == MatState::kCold) cold_cands.push_back(parent);
+          }
+        }
+        // Hot candidates first: cold ones cost a disk load just to probe
+        // (TrySubsumption needs the table), so they are only consulted
+        // when no in-memory candidate derives. A failed cold probe still
+        // leaves the loaded result promoted for future queries.
+        hot_cands.insert(hot_cands.end(), cold_cands.begin(),
+                         cold_cands.end());
+        SubsumptionPlan derived;
+        RGNode* subsumer = nullptr;
+        bool subsumer_from_cold = false;
+        for (RGNode* parent : hot_cands) {
+          bool from_cold = false;
+          TablePtr cached = SnapshotOrReadmit(parent, prepared, &from_cold);
+          if (cached == nullptr) continue;
+          derived = TrySubsumption(*m->plan, m->children[0]->mapping,
+                                   *parent, cached);
+          if (derived.plan != nullptr) {
+            subsumer = parent;
+            subsumer_from_cold = from_cold;
+            break;
           }
         }
         if (derived.plan != nullptr) {
@@ -455,6 +750,10 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
           ++prepared->trace_.num_subsumption_reuses;
           counters_.reuses.fetch_add(1);
           counters_.subsumption_reuses.fetch_add(1);
+          if (subsumer_from_cold) {
+            ++prepared->trace_.num_cold_hits;
+            counters_.cold_hits.fetch_add(1);
+          }
           return derived.plan;
         }
       }
@@ -464,57 +763,68 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       // child may cover parts of it. Answer from their union plus
       // compensated delta scans for the remainder; credit contributors
       // proportionally to the share of the interval they serve.
+      //
+      // Candidate slices come from the interval index (which retains
+      // cold entries: a spilled slice still stitches); their snapshots
+      // are taken without the graph lock because kCold candidates
+      // re-admit from disk and promotion acquires it. Pointers stay
+      // valid for the Prepare window (truncation needs quiescence).
       if (config_.enable_partial_reuse && plan->type() == OpType::kSelect) {
-        // Delta scans prefer the child's own cached result over
-        // re-executing the child subtree (stitching must not preempt a
-        // reuse the plain miss path would have gotten).
-        PlanPtr delta_child = plan->children()[0];
-        bool delta_child_cached = false;
-        {
-          RecyclerGraph::MatShard& shard = graph_.mat_shard(child_gnode);
-          std::lock_guard<std::mutex> mlock(shard.mu);
-          if (child_gnode->mat_state.load() == MatState::kCached) {
-            delta_child = PlanNode::CachedScan(
-                child_gnode->cached,
-                plan->children()[0]->output_schema().Names());
-            delta_child_cached = true;
+        const NameMap& mapping = m->children[0]->mapping;
+        std::vector<RangeSpec> specs =
+            ExtractRangeSpecs(plan->predicate(), &mapping);
+        std::vector<std::vector<IntervalIndex::Entry>> entries_per_spec(
+            specs.size());
+        bool any_entries = false;
+        if (!specs.empty()) {
+          std::lock_guard<std::mutex> clock(cache_mu_);
+          for (size_t si = 0; si < specs.size(); ++si) {
+            entries_per_spec[si] = interval_index_.Overlapping(
+                child_gnode->id, specs[si].mapped_column, specs[si].range);
+            any_entries = any_entries || !entries_per_spec[si].empty();
           }
         }
-        PartialPlan stitched;
-        {
-          std::shared_lock<std::shared_mutex> glock(graph_.mutex());
-          const NameMap& mapping = m->children[0]->mapping;
-          for (const RangeSpec& spec :
-               ExtractRangeSpecs(plan->predicate(), &mapping)) {
-            std::vector<IntervalIndex::Entry> entries;
-            {
-              std::lock_guard<std::mutex> clock(cache_mu_);
-              entries = interval_index_.Overlapping(
-                  child_gnode->id, spec.mapped_column, spec.range);
+        if (any_entries) {
+          // Delta scans prefer the child's own result — from either
+          // tier — over re-executing the child subtree (stitching must
+          // not preempt a reuse the plain miss path would have gotten).
+          PlanPtr delta_child = plan->children()[0];
+          bool delta_child_cached = false;
+          bool delta_child_from_cold = false;
+          {
+            TablePtr child_snap =
+                SnapshotOrReadmit(child_gnode, prepared, &delta_child_from_cold);
+            if (child_snap != nullptr) {
+              delta_child = PlanNode::CachedScan(
+                  std::move(child_snap),
+                  plan->children()[0]->output_schema().Names());
+              delta_child_cached = true;
             }
+          }
+          PartialPlan stitched;
+          for (size_t si = 0; si < specs.size(); ++si) {
             std::vector<IntervalCandidate> cands;
-            for (IntervalIndex::Entry& e : entries) {
+            for (IntervalIndex::Entry& e : entries_per_spec[si]) {
               if (e.node == g) continue;  // exact reuse handled above
-              TablePtr cached;
-              {
-                RecyclerGraph::MatShard& shard = graph_.mat_shard(e.node);
-                std::lock_guard<std::mutex> mlock(shard.mu);
-                if (e.node->mat_state.load() != MatState::kCached) continue;
-                cached = e.node->cached;
-              }
+              bool from_cold = false;
+              TablePtr cached = SnapshotOrReadmit(e.node, prepared, &from_cold);
+              if (cached == nullptr) continue;
               cands.push_back({e.node, std::move(cached), e.range,
                                std::move(e.other_fps)});
             }
             if (cands.empty()) continue;
-            PartialPlan attempt =
-                TryPartialStitch(*plan, mapping, delta_child, spec, cands);
+            PartialPlan attempt = TryPartialStitch(*plan, mapping,
+                                                   delta_child, specs[si],
+                                                   cands);
             if (attempt.plan != nullptr &&
                 attempt.covered_fraction > stitched.covered_fraction) {
               stitched = std::move(attempt);
             }
           }
+          int stitch_cold_hits = 0;
           if (stitched.plan != nullptr &&
               stitched.covered_fraction >= config_.partial_min_cover) {
+            std::shared_lock<std::shared_mutex> glock(graph_.mutex());
             for (const PartialPiece& piece : stitched.reuse_pieces) {
               RGNode* src = const_cast<RGNode*>(piece.source);
               graph_.FoldAging(src);
@@ -523,6 +833,9 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
               // contributor's from-base-tables work.
               prepared->replaced_cost_[piece.cached_scan.get()] =
                   src->bcost_ms.load() * piece.fraction;
+              if (prepared->cold_loaded_.count(piece.source) > 0) {
+                ++stitch_cold_hits;
+              }
             }
             if (delta_child_cached && stitched.num_delta_pieces > 0) {
               // The single delta branch replaced the child's base cost
@@ -531,24 +844,29 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
               AtomicAddClamped(child_gnode->h, 1.0, 0.0);
               prepared->replaced_cost_[delta_child.get()] =
                   child_gnode->bcost_ms.load();
+              if (delta_child_from_cold) ++stitch_cold_hits;
             }
           } else {
             stitched = PartialPlan{};
           }
-        }
-        if (stitched.plan != nullptr) {
-          m->stitched = true;
-          m->exec_plan = stitched.plan.get();
-          prepared->exec_to_gnode_[stitched.plan.get()] = g;
-          ++prepared->trace_.num_reuses;
-          ++prepared->trace_.num_partial_reuses;
-          counters_.reuses.fetch_add(1);
-          counters_.partial_reuses.fetch_add(1);
-          if (delta_child_cached && stitched.num_delta_pieces > 0) {
-            ++prepared->trace_.num_reuses;  // the child reuse in the deltas
+          if (stitched.plan != nullptr) {
+            m->stitched = true;
+            m->exec_plan = stitched.plan.get();
+            prepared->exec_to_gnode_[stitched.plan.get()] = g;
+            ++prepared->trace_.num_reuses;
+            ++prepared->trace_.num_partial_reuses;
             counters_.reuses.fetch_add(1);
+            counters_.partial_reuses.fetch_add(1);
+            if (delta_child_cached && stitched.num_delta_pieces > 0) {
+              ++prepared->trace_.num_reuses;  // the child reuse in the deltas
+              counters_.reuses.fetch_add(1);
+            }
+            if (stitch_cold_hits > 0) {
+              prepared->trace_.num_cold_hits += stitch_cold_hits;
+              counters_.cold_hits.fetch_add(stitch_cold_hits);
+            }
+            return stitched.plan;
           }
-          return stitched.plan;
         }
       }
     }
@@ -755,12 +1073,7 @@ void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
     // sees is in a settled state.
     std::lock_guard<std::mutex> clock(cache_mu_);
     admitted = cache_.Admit(node, benefit, &evicted);
-    for (RGNode* v : evicted) {
-      UpdateHrOnEvict(v);
-      interval_index_.Remove(v);
-      SetMatState(v, MatState::kNone, /*clear_cached=*/true);
-      counters_.evictions.fetch_add(1);
-    }
+    for (RGNode* v : evicted) HandleHotEviction(v);
     if (admitted) {
       SetMatState(node, MatState::kCached);
       RegisterIntervals(node);
@@ -784,9 +1097,12 @@ void Recycler::EvictNode(RGNode* node, bool update_h) {
   // node->cached (inside SetMatState's shard critical section) only
   // releases the graph's reference: concurrent streams that already took
   // a snapshot keep the table (and any column views into it) alive until
-  // their scans drain.
+  // their scans drain. This is the invalidation path, so the node's
+  // spill file (if any) is deleted too — stale cold results must never
+  // be re-admitted.
   cache_.Remove(node);
   interval_index_.Remove(node);
+  cold_tier_.Remove(node);
   if (update_h) UpdateHrOnEvict(node);
   SetMatState(node, MatState::kNone, /*clear_cached=*/true);
   counters_.evictions.fetch_add(1);
@@ -818,11 +1134,21 @@ void Recycler::InvalidateTable(const std::string& table) {
   std::shared_lock<std::shared_mutex> lock(graph_.mutex());
   std::lock_guard<std::mutex> clock(cache_mu_);
   for (const auto& n : graph_.nodes()) {
-    if (n->mat_state.load() == MatState::kCached &&
+    MatState ms = n->mat_state.load();
+    if ((ms == MatState::kCached || ms == MatState::kCold) &&
         n->base_tables.count(table) > 0) {
-      EvictNode(n.get(), /*update_h=*/true);
+      EvictNode(n.get(), /*update_h=*/ms == MatState::kCached);
       counters_.invalidations.fetch_add(1);
     }
+  }
+  // Orphan spill files from a previous process also derive from the
+  // table; purge them so a later adoption cannot resurrect stale data.
+  std::vector<const RGNode*> dropped;
+  cold_tier_.PurgeTable(table, &dropped);
+  for (const RGNode* d : dropped) {
+    // Live entries over the table were already evicted above; anything
+    // the purge still reports is demoted defensively.
+    OnColdEntryDropped(const_cast<RGNode*>(d));
   }
 }
 
@@ -832,16 +1158,14 @@ int64_t Recycler::TruncateGraph(int64_t idle_epochs) {
 }
 
 void Recycler::FlushCache() {
+  // A flush is memory-pressure relief, not invalidation: with the cold
+  // tier enabled, still-beneficial results are demoted to disk instead
+  // of discarded (use InvalidateTable/ReplaceTable to drop stale data).
   std::shared_lock<std::shared_mutex> lock(graph_.mutex());
   std::lock_guard<std::mutex> clock(cache_mu_);
   std::vector<RGNode*> evicted;
   cache_.Flush(&evicted);
-  for (RGNode* n : evicted) {
-    UpdateHrOnEvict(n);
-    interval_index_.Remove(n);
-    SetMatState(n, MatState::kNone, /*clear_cached=*/true);
-    counters_.evictions.fetch_add(1);
-  }
+  for (RGNode* n : evicted) HandleHotEviction(n);
 }
 
 // ---------------------------------------------------------------------------

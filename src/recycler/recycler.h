@@ -7,10 +7,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/executor.h"
 #include "recycler/cache.h"
+#include "recycler/cold_tier.h"
 #include "recycler/graph.h"
 #include "recycler/interval_index.h"
 
@@ -64,6 +66,19 @@ struct RecyclerConfig {
   int64_t stall_timeout_ms = 30000;
   /// Replacement policy (kBenefit = paper; others for ablations).
   CachePolicy cache_policy = CachePolicy::kBenefit;
+  /// Cold-tier spill directory; empty disables the tier. When set, hot
+  /// evictions spill still-beneficial results to disk, a shutdown
+  /// checkpoint persists the hot cache, and Database::Open over the same
+  /// directory warms the recycler up from the previous process's
+  /// coverage. The directory must be private to one engine instance and
+  /// must stay paired with the same base data (ReplaceTable purges).
+  std::string spill_dir;
+  /// Byte cap on the spill directory (second-chance replacement).
+  /// Must be positive when spill_dir is set.
+  int64_t cold_tier_capacity_bytes = 1ll << 30;
+  /// Minimum benefit (Eq. 1) an evicted result must retain to be worth
+  /// spilling; 0 spills every evicted result.
+  double spill_min_benefit = 0.0;
 };
 
 /// Per-query observability record (drives Fig. 9 traces and Fig. 10).
@@ -77,6 +92,7 @@ struct QueryTrace {
   int num_reuses = 0;              // cached results consumed
   int num_subsumption_reuses = 0;  // of which via subsumption
   int num_partial_reuses = 0;      // of which via partial-range stitching
+  int num_cold_hits = 0;           // of which loaded from the cold tier
   int num_materialized = 0;        // results added to the cache
   int num_spec_aborted = 0;        // speculative stores that backed off
   int num_stalls = 0;              // waits on concurrent materializations
@@ -110,6 +126,19 @@ struct RecyclerCounters {
   std::atomic<int64_t> evictions{0};
   std::atomic<int64_t> invalidations{0};
   std::atomic<int64_t> proactive_rewrites{0};
+  // --- cold tier -------------------------------------------------------
+  /// Reuses served by loading a result from the cold tier.
+  std::atomic<int64_t> cold_hits{0};
+  /// Spill files written (evictions + shutdown checkpoint).
+  std::atomic<int64_t> cold_spills{0};
+  /// Cold entries promoted back into the hot cache.
+  std::atomic<int64_t> cold_readmissions{0};
+  /// Cold entries dropped by the tier's second-chance sweep.
+  std::atomic<int64_t> cold_evictions{0};
+  /// Corrupt/unreadable spill files dropped on access.
+  std::atomic<int64_t> cold_load_errors{0};
+  /// Restart orphans adopted by newly inserted graph nodes.
+  std::atomic<int64_t> cold_adoptions{0};
 };
 
 class Recycler;
@@ -141,6 +170,11 @@ class PreparedQuery {
   /// CachedScan plan node -> bcost of the subtree it replaced (Eq. 2
   /// bookkeeping: bcost must stay cost-from-base-tables).
   std::map<const PlanNode*, double> replaced_cost_;
+  /// Nodes whose result this query loaded from the cold tier (a load may
+  /// promote the node to hot before the reuse that consumes it is
+  /// chosen, so cold-hit accounting goes through this set rather than
+  /// the node's state at consumption time).
+  std::unordered_set<const RGNode*> cold_loaded_;
   int64_t query_id_ = 0;
 };
 
@@ -155,6 +189,10 @@ class PreparedQuery {
 class Recycler {
  public:
   Recycler(const Catalog* catalog, RecyclerConfig config);
+
+  /// Checkpoints the hot cache into the cold tier (see
+  /// CheckpointColdTier); sessions/streams must already be quiescent.
+  ~Recycler();
 
   /// Full pipeline for one query: Prepare -> Execute -> OnComplete.
   /// `trace_out` (optional) receives the query's trace record.
@@ -197,11 +235,26 @@ class Recycler {
   /// interval index (diagnostics / tests).
   int64_t interval_index_entries() const;
 
+  /// Writes a spill file for every hot-cache entry whose benefit clears
+  /// the spill threshold and that has no live file yet (results already
+  /// demoted once keep their file, so this skips them). Called by the
+  /// destructor so a graceful shutdown persists accumulated coverage;
+  /// exposed for tests/benches. Returns the number of files written.
+  int64_t CheckpointColdTier();
+
+  /// Canonical, restart-stable fingerprint of the graph subtree rooted
+  /// at `node`: node-id suffixes inside parameter fingerprints are
+  /// rewritten to subtree-relative positions, so the same logical
+  /// subtree produces the same key in every process. Cold-tier identity.
+  /// Caller holds at least the shared lock on graph().mutex().
+  std::string CanonicalSubtreeKey(const RGNode* node) const;
+
   /// Snapshot of all template-level stats (hash -> aggregate).
   std::map<uint64_t, TemplateStats> TemplateStatsSnapshot() const;
 
   RecyclerGraph& graph() { return graph_; }
   RecyclerCache& cache() { return cache_; }
+  const ColdTier& cold_tier() const { return cold_tier_; }
   const RecyclerConfig& config() const { return config_; }
   const RecyclerCounters& counters() const { return counters_; }
   const Catalog* catalog() const { return catalog_; }
@@ -258,6 +311,44 @@ class Recycler {
   /// Caller holds at least the shared graph lock AND cache_mu_.
   void EvictNode(RGNode* node, bool update_h);
 
+  // --- cold tier --------------------------------------------------------
+  /// Handles one hot-cache eviction: Eq. 4 h-update, then spill-or-drop —
+  /// a spilled victim flips to kCold and keeps its interval-index
+  /// registrations (cold slices still stitch); a dropped one goes to
+  /// kNone. Caller holds at least the shared graph lock AND cache_mu_.
+  void HandleHotEviction(RGNode* victim);
+
+  /// Writes `node`'s result to the cold tier when the tier is enabled
+  /// and the benefit clears the spill threshold (no-op true when a live
+  /// file already exists). Caller holds at least the shared graph lock
+  /// AND cache_mu_.
+  bool MaybeSpill(RGNode* node);
+
+  /// Demotes a node whose cold entry the tier's sweep dropped: a kCold
+  /// node loses its registrations and becomes kNone; a node that is
+  /// (also) hot keeps its hot state. Caller holds the shared graph lock
+  /// AND cache_mu_.
+  void OnColdEntryDropped(RGNode* node);
+
+  /// Pinned snapshot of `node`'s result from either tier: the hot table
+  /// when kCached, else a lazy re-admission from the cold tier (load ->
+  /// promote-if-admittable -> serve). nullptr when the node has no
+  /// result in either tier. A load is recorded in `prepared`'s
+  /// cold-loaded set; `*from_cold` reports whether THIS query pulled the
+  /// node from disk (now or earlier in its rewrite), so call sites count
+  /// cold hits only for reuses actually consumed. Caller must NOT hold
+  /// the graph lock (promotion acquires it shared).
+  TablePtr SnapshotOrReadmit(RGNode* node, PreparedQuery* prepared,
+                             bool* from_cold);
+
+  /// The cold half of SnapshotOrReadmit.
+  TablePtr ReadmitCold(RGNode* node);
+
+  /// Probes the cold tier's orphan map for a restart image of the just-
+  /// inserted `node` and adopts it (re-seed stats, kCold state, interval
+  /// registration). Caller holds the exclusive graph lock.
+  void TryAdoptOrphan(RGNode* node);
+
   /// Registers `node`'s range slices in the interval index right after
   /// cache admission. Caller holds at least the shared graph lock AND
   /// cache_mu_ (the index tracks cache residency).
@@ -274,8 +365,12 @@ class Recycler {
   mutable std::mutex cache_mu_;
   RecyclerCache cache_;
   /// Partial-reuse interval index over cached range-selection slices.
-  /// Guarded by cache_mu_: it changes exactly when cache residency does.
+  /// Guarded by cache_mu_: it changes exactly when cache residency does
+  /// (cold entries count as resident: their slices still stitch).
   IntervalIndex interval_index_;
+  /// On-disk cold tier below the hot cache. Internally synchronized
+  /// (leaf mutex); ordered after graph/cache, see DESIGN.md "Cold tier".
+  ColdTier cold_tier_;
   /// Guards template_stats_ (independent of the graph/cache locks; taken
   /// last and never while holding them longer than the map update).
   mutable std::mutex template_mu_;

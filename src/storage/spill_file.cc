@@ -1,0 +1,429 @@
+#include "storage/spill_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace recycledb {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'D', 'B', 'S'};
+
+// --- header (de)serialization into a flat byte buffer ---------------------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over the header buffer; every Get* returns false
+/// past the end so a truncated header fails cleanly.
+struct Cursor {
+  const unsigned char* p;
+  size_t len;
+  size_t pos = 0;
+
+  bool GetU32(uint32_t* v) {
+    if (pos + 4 > len) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[pos + i]) << (8 * i);
+    pos += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos + 8 > len) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[pos + i]) << (8 * i);
+    pos += 8;
+    return true;
+  }
+  bool GetDouble(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (pos + n > len) return false;
+    s->assign(reinterpret_cast<const char*>(p + pos), n);
+    pos += n;
+    return true;
+  }
+};
+
+std::string SerializeHeader(const SpillFileMeta& meta) {
+  std::string h;
+  PutString(&h, meta.canon_key);
+  PutU32(&h, static_cast<uint32_t>(meta.column_names.size()));
+  for (size_t i = 0; i < meta.column_names.size(); ++i) {
+    PutString(&h, meta.column_names[i]);
+    h.push_back(static_cast<char>(meta.column_types[i]));
+  }
+  PutU64(&h, static_cast<uint64_t>(meta.num_rows));
+  PutDouble(&h, meta.bcost_ms);
+  PutDouble(&h, meta.h);
+  PutDouble(&h, meta.benefit);
+  PutU32(&h, static_cast<uint32_t>(meta.base_tables.size()));
+  for (const std::string& t : meta.base_tables) PutString(&h, t);
+  return h;
+}
+
+Status ParseHeader(const std::string& buf, SpillFileMeta* meta) {
+  Cursor c{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
+  uint32_t ncols = 0, ntables = 0;
+  uint64_t rows = 0;
+  *meta = SpillFileMeta{};
+  if (!c.GetString(&meta->canon_key) || !c.GetU32(&ncols)) {
+    return Status::Internal("spill header truncated");
+  }
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    if (!c.GetString(&name) || c.pos >= c.len) {
+      return Status::Internal("spill header truncated in column list");
+    }
+    uint8_t type = c.p[c.pos++];
+    if (type > static_cast<uint8_t>(TypeId::kDate)) {
+      return Status::Internal(
+          StrFormat("spill header has unknown column type %d", (int)type));
+    }
+    meta->column_names.push_back(std::move(name));
+    meta->column_types.push_back(static_cast<TypeId>(type));
+  }
+  if (!c.GetU64(&rows) || !c.GetDouble(&meta->bcost_ms) ||
+      !c.GetDouble(&meta->h) || !c.GetDouble(&meta->benefit) ||
+      !c.GetU32(&ntables)) {
+    return Status::Internal("spill header truncated");
+  }
+  meta->num_rows = static_cast<int64_t>(rows);
+  for (uint32_t i = 0; i < ntables; ++i) {
+    std::string t;
+    if (!c.GetString(&t)) {
+      return Status::Internal("spill header truncated in base-table list");
+    }
+    meta->base_tables.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+/// FILE* wrapper that streams every written byte through FNV-1a.
+class ChecksummedWriter {
+ public:
+  explicit ChecksummedWriter(std::FILE* f) : f_(f) {}
+
+  bool Write(const void* data, size_t len) {
+    if (len == 0) return true;  // zero-row columns pass a null span
+    sum_ = Fnv1a(data, len, sum_);
+    return std::fwrite(data, 1, len, f_) == len;
+  }
+  uint64_t sum() const { return sum_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t sum_ = 0xcbf29ce484222325ULL;
+};
+
+/// Bulk-reads `len` bytes, folding them into `*sum`.
+bool ReadChecked(std::FILE* f, void* data, size_t len, uint64_t* sum) {
+  if (std::fread(data, 1, len, f) != len) return false;
+  *sum = Fnv1a(data, len, *sum);
+  return true;
+}
+
+Status WriteColumns(ChecksummedWriter* w, const Table& table) {
+  const int64_t rows = table.num_rows();
+  for (int ci = 0; ci < table.num_columns(); ++ci) {
+    const ColumnVector& col = *table.column(ci);
+    switch (col.type()) {
+      case TypeId::kBool:
+        if (!w->Write(col.Raw<uint8_t>(), static_cast<size_t>(rows)))
+          return Status::Internal("spill write failed");
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        if (!w->Write(col.Raw<int32_t>(), static_cast<size_t>(rows) * 4))
+          return Status::Internal("spill write failed");
+        break;
+      case TypeId::kInt64:
+        if (!w->Write(col.Raw<int64_t>(), static_cast<size_t>(rows) * 8))
+          return Status::Internal("spill write failed");
+        break;
+      case TypeId::kDouble:
+        if (!w->Write(col.Raw<double>(), static_cast<size_t>(rows) * 8))
+          return Status::Internal("spill write failed");
+        break;
+      case TypeId::kString: {
+        const std::string* data = col.Raw<std::string>();
+        for (int64_t r = 0; r < rows; ++r) {
+          std::string lenbuf;
+          PutU32(&lenbuf, static_cast<uint32_t>(data[r].size()));
+          if (!w->Write(lenbuf.data(), lenbuf.size()) ||
+              !w->Write(data[r].data(), data[r].size())) {
+            return Status::Internal("spill write failed");
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadColumns(std::FILE* f, const SpillFileMeta& meta,
+                   int64_t payload_bytes, uint64_t* sum, TablePtr* out) {
+  std::vector<Field> fields;
+  for (size_t i = 0; i < meta.column_names.size(); ++i) {
+    fields.push_back({meta.column_names[i], meta.column_types[i]});
+  }
+  TablePtr table = MakeTable(Schema(std::move(fields)));
+  const int64_t rows = meta.num_rows;
+  if (rows < 0) return Status::Internal("spill header has negative row count");
+  // Plausibility bound BEFORE any allocation: a corrupt row count must
+  // yield a recoverable Status, not a std::length_error abort. Each row
+  // costs at least its columns' fixed widths (a string costs its 4-byte
+  // length prefix), so rows is bounded by the payload size.
+  int64_t min_row_bytes = 0;
+  for (TypeId type : meta.column_types) {
+    switch (type) {
+      case TypeId::kBool:
+        min_row_bytes += 1;
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+      case TypeId::kString:
+        min_row_bytes += 4;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        min_row_bytes += 8;
+        break;
+    }
+  }
+  if (rows > 0 && (min_row_bytes == 0 || payload_bytes < 0 ||
+                   rows > payload_bytes / min_row_bytes)) {
+    return Status::Internal("spill header row count exceeds file size");
+  }
+
+  Batch batch;
+  batch.num_rows = rows;
+  for (TypeId type : meta.column_types) {
+    ColumnPtr col = MakeColumn(type);
+    switch (type) {
+      case TypeId::kBool: {
+        auto& v = col->Data<uint8_t>();
+        v.resize(static_cast<size_t>(rows));
+        if (rows > 0 && !ReadChecked(f, v.data(), v.size(), sum))
+          return Status::Internal("spill payload truncated");
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        auto& v = col->Data<int32_t>();
+        v.resize(static_cast<size_t>(rows));
+        if (rows > 0 && !ReadChecked(f, v.data(), v.size() * 4, sum))
+          return Status::Internal("spill payload truncated");
+        break;
+      }
+      case TypeId::kInt64: {
+        auto& v = col->Data<int64_t>();
+        v.resize(static_cast<size_t>(rows));
+        if (rows > 0 && !ReadChecked(f, v.data(), v.size() * 8, sum))
+          return Status::Internal("spill payload truncated");
+        break;
+      }
+      case TypeId::kDouble: {
+        auto& v = col->Data<double>();
+        v.resize(static_cast<size_t>(rows));
+        if (rows > 0 && !ReadChecked(f, v.data(), v.size() * 8, sum))
+          return Status::Internal("spill payload truncated");
+        break;
+      }
+      case TypeId::kString: {
+        auto& v = col->Data<std::string>();
+        v.reserve(static_cast<size_t>(rows));
+        for (int64_t r = 0; r < rows; ++r) {
+          unsigned char lenbuf[4];
+          if (!ReadChecked(f, lenbuf, 4, sum))
+            return Status::Internal("spill payload truncated");
+          uint32_t n = 0;
+          for (int i = 0; i < 4; ++i) n |= static_cast<uint32_t>(lenbuf[i]) << (8 * i);
+          // Cap per-value size so a corrupt length cannot OOM the reader
+          // before the checksum check would have caught it.
+          if (n > (64u << 20)) {
+            return Status::Internal("spill payload has implausible string length");
+          }
+          std::string s(n, '\0');
+          if (n > 0 && !ReadChecked(f, s.data(), n, sum))
+            return Status::Internal("spill payload truncated");
+          v.push_back(std::move(s));
+        }
+        break;
+      }
+    }
+    batch.columns.push_back(std::move(col));
+  }
+  table->AppendBatch(batch);
+  *out = std::move(table);
+  return Status::OK();
+}
+
+/// Opens `path`, validates magic/version, reads the header. On success
+/// `*f_out` is positioned at the first payload byte and `*sum` holds the
+/// running checksum over the header bytes.
+Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
+                         SpillFileMeta* meta, uint64_t* sum) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("spill file %s cannot be opened",
+                                      path.c_str()));
+  }
+  char magic[4];
+  unsigned char fixed[12];
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s is not a spill file", path.c_str()));
+  }
+  if (std::fread(fixed, 1, 12, f) != 12) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: spill header truncated", path.c_str()));
+  }
+  uint32_t version = 0;
+  uint64_t header_len = 0;
+  for (int i = 0; i < 4; ++i) version |= static_cast<uint32_t>(fixed[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i)
+    header_len |= static_cast<uint64_t>(fixed[4 + i]) << (8 * i);
+  if (version != kSpillFormatVersion) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: unsupported spill version %u",
+                                      path.c_str(), version));
+  }
+  if (header_len > (16u << 20)) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: implausible spill header length",
+                                      path.c_str()));
+  }
+  std::string header(header_len, '\0');
+  if (header_len > 0 &&
+      std::fread(header.data(), 1, header_len, f) != header_len) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: spill header truncated", path.c_str()));
+  }
+  Status st = ParseHeader(header, meta);
+  if (!st.ok()) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: %s", path.c_str(),
+                                      st.message().c_str()));
+  }
+  *sum = Fnv1a(header.data(), header.size());
+  *f_out = f;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSpillFile(const std::string& path, const Table& table,
+                      const SpillFileMeta& meta) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(StrFormat("cannot create spill file %s",
+                                      tmp.c_str()));
+  }
+  std::string header = SerializeHeader(meta);
+  std::string prefix;
+  prefix.append(kMagic, 4);
+  PutU32(&prefix, kSpillFormatVersion);
+  PutU64(&prefix, static_cast<uint64_t>(header.size()));
+
+  // The prefix (magic/version/length) is outside the checksum; the
+  // checksum covers header + payload, matching the read path.
+  Status st = Status::OK();
+  if (std::fwrite(prefix.data(), 1, prefix.size(), f) != prefix.size()) {
+    st = Status::Internal("spill write failed");
+  }
+  ChecksummedWriter w(f);
+  if (st.ok() && !w.Write(header.data(), header.size())) {
+    st = Status::Internal("spill write failed");
+  }
+  if (st.ok()) st = WriteColumns(&w, table);
+  if (st.ok()) {
+    std::string sumbuf;
+    PutU64(&sumbuf, w.sum());
+    if (std::fwrite(sumbuf.data(), 1, sumbuf.size(), f) != sumbuf.size()) {
+      st = Status::Internal("spill write failed");
+    }
+  }
+  if (std::fclose(f) != 0 && st.ok()) {
+    st = Status::Internal("spill write failed on close");
+  }
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::Internal(StrFormat("cannot rename %s into place", tmp.c_str()));
+  }
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
+}
+
+Status ReadSpillMeta(const std::string& path, SpillFileMeta* meta) {
+  std::FILE* f = nullptr;
+  uint64_t sum = 0;
+  RDB_RETURN_NOT_OK(OpenAndReadHeader(path, &f, meta, &sum));
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status ReadSpillTable(const std::string& path, SpillFileMeta* meta,
+                      TablePtr* out) {
+  std::FILE* f = nullptr;
+  uint64_t sum = 0;
+  RDB_RETURN_NOT_OK(OpenAndReadHeader(path, &f, meta, &sum));
+  // Payload capacity = bytes between the header and the 8-byte checksum.
+  const long payload_start = std::ftell(f);
+  int64_t payload_bytes = 0;
+  if (payload_start < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::Internal(StrFormat("%s: cannot size spill file",
+                                      path.c_str()));
+  }
+  payload_bytes = std::ftell(f) - payload_start - 8;
+  std::fseek(f, payload_start, SEEK_SET);
+  TablePtr table;
+  Status st = ReadColumns(f, *meta, payload_bytes, &sum, &table);
+  if (st.ok()) {
+    unsigned char sumbuf[8];
+    if (std::fread(sumbuf, 1, 8, f) != 8) {
+      st = Status::Internal(StrFormat("%s: spill checksum missing", path.c_str()));
+    } else {
+      uint64_t stored = 0;
+      for (int i = 0; i < 8; ++i)
+        stored |= static_cast<uint64_t>(sumbuf[i]) << (8 * i);
+      if (stored != sum) {
+        st = Status::Internal(StrFormat("%s: spill checksum mismatch",
+                                        path.c_str()));
+      }
+    }
+  }
+  std::fclose(f);
+  if (st.ok()) *out = std::move(table);
+  return st;
+}
+
+}  // namespace recycledb

@@ -1,0 +1,74 @@
+// Spill files: the cold tier's on-disk result format.
+//
+// A spill file holds one materialized recycler result as a simple
+// columnar image: a self-describing header (canonical subtree key,
+// schema, reference statistics, base tables) followed by the raw column
+// payloads and a trailing checksum. Columns are written contiguously per
+// column, so read-back rebuilds each ColumnVector with one bulk read and
+// the reloaded table feeds the zero-copy view machinery exactly like a
+// freshly materialized result (scans emit O(1) views of its columns).
+//
+// Layout (all integers little-endian, strings length-prefixed u32):
+//
+//   "RDBS" magic | u32 version | u64 header_len | header | payload | u64 fnv
+//
+// The checksum is FNV-1a over header + payload. Writers stream to
+// "<path>.tmp" and rename into place, so a final-named file is always
+// complete: a crash can lose the entry being written, never produce a
+// half-readable one. Readers return recoverable Status (never abort) on
+// truncation, checksum mismatch, or version/magic drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace recycledb {
+
+/// Current spill format version; bump on any layout change (readers
+/// reject other versions with a recoverable Status).
+inline constexpr uint32_t kSpillFormatVersion = 1;
+
+/// Everything the cold tier must know about a spilled result without
+/// touching its payload: the restart-stable identity plus the reference
+/// statistics needed to re-seed a recycler-graph node after a restart.
+struct SpillFileMeta {
+  /// Canonical structural key of the producing graph subtree
+  /// (Recycler::CanonicalSubtreeKey): stable across process restarts.
+  std::string canon_key;
+  /// Column names at spill time (graph name space of the *writing*
+  /// process; readers rename positionally into their own graph space).
+  std::vector<std::string> column_names;
+  /// Column types (positional); verified against the adopting node.
+  std::vector<TypeId> column_types;
+  int64_t num_rows = 0;
+  /// Reference statistics restored on orphan adoption.
+  double bcost_ms = 0;
+  double h = 0;
+  /// Benefit at spill time (diagnostics only).
+  double benefit = 0;
+  /// Base tables under the producing subtree (update invalidation must
+  /// purge spilled entries too).
+  std::vector<std::string> base_tables;
+};
+
+/// Writes `table` with `meta` to `path` via a "<path>.tmp" + rename
+/// protocol. On any error the final path is left untouched (a stale tmp
+/// file may remain; directory scans delete those).
+Status WriteSpillFile(const std::string& path, const Table& table,
+                      const SpillFileMeta& meta);
+
+/// Reads only the header of `path` (directory-scan fast path; the
+/// payload checksum is NOT verified here).
+Status ReadSpillMeta(const std::string& path, SpillFileMeta* meta);
+
+/// Reads the full file, verifies the checksum, and rebuilds the table
+/// (owning columns named `meta->column_names`). Corrupt or truncated
+/// files yield a recoverable error Status, never an abort.
+Status ReadSpillTable(const std::string& path, SpillFileMeta* meta,
+                      TablePtr* out);
+
+}  // namespace recycledb

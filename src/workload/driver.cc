@@ -62,6 +62,12 @@ int64_t RunReport::TotalMaterializations() const {
   return n;
 }
 
+int64_t RunReport::TotalColdHits() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_cold_hits;
+  return n;
+}
+
 double RunReport::ReuseRate() const {
   if (records.empty()) return 0;
   int64_t reusing = 0;
@@ -127,6 +133,7 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
     ss.reuses += r.trace.num_reuses;
     ss.subsumption_reuses += r.trace.num_subsumption_reuses;
     ss.partial_reuses += r.trace.num_partial_reuses;
+    ss.cold_hits += r.trace.num_cold_hits;
     ss.materializations += r.trace.num_materialized;
     ss.stalls += r.trace.num_stalls;
   }
@@ -183,6 +190,9 @@ std::string FormatTrace(const RunReport& report) {
     if (r.trace.num_partial_reuses > 0) {
       events += StrFormat("(stitched:%d) ", r.trace.num_partial_reuses);
     }
+    if (r.trace.num_cold_hits > 0) {
+      events += StrFormat("(cold:%d) ", r.trace.num_cold_hits);
+    }
     if (r.trace.num_materialized > 0) {
       events += StrFormat("materialized:%d ", r.trace.num_materialized);
     }
@@ -215,8 +225,10 @@ std::string FormatSummary(const RunReport& report) {
       report.LatencyPercentileMs(50), report.LatencyPercentileMs(95),
       report.LatencyPercentileMs(99));
   out += StrFormat(
-      "reuse_rate=%.1f%% reuses=%lld materializations=%lld stalls=%lld\n",
+      "reuse_rate=%.1f%% reuses=%lld cold_hits=%lld materializations=%lld "
+      "stalls=%lld\n",
       100.0 * report.ReuseRate(), static_cast<long long>(report.TotalReuses()),
+      static_cast<long long>(report.TotalColdHits()),
       static_cast<long long>(report.TotalMaterializations()),
       static_cast<long long>(report.TotalStalls()));
   return out;

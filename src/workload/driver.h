@@ -53,6 +53,8 @@ struct StreamStats {
   int64_t reuses = 0;
   int64_t subsumption_reuses = 0;
   int64_t partial_reuses = 0;
+  /// Reuses served from the on-disk cold tier (subset of reuses).
+  int64_t cold_hits = 0;
   int64_t materializations = 0;
   int64_t stalls = 0;
 };
@@ -80,6 +82,8 @@ struct RunReport {
   int64_t TotalReuses() const;
   int64_t TotalStalls() const;
   int64_t TotalMaterializations() const;
+  /// Reuses served by cold-tier re-admission across all streams.
+  int64_t TotalColdHits() const;
   /// Fraction of queries that consumed at least one cached result.
   double ReuseRate() const;
 };

@@ -88,6 +88,41 @@ TEST(ConfigValidation, RejectsBadAgingAlphaAndLimits) {
   EXPECT_FALSE(ValidateRecyclerConfig(cfg).ok());
 }
 
+TEST(ConfigValidation, RejectsBadColdTierOptions) {
+  RecyclerConfig cfg;
+  cfg.spill_min_benefit = -0.1;  // benefits are never negative
+  Status st = ValidateRecyclerConfig(cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("spill_min_benefit"), std::string::npos);
+
+  cfg = RecyclerConfig();
+  cfg.spill_dir = "/tmp/rdb-spill-validate";
+  cfg.cold_tier_capacity_bytes = 0;
+  st = ValidateRecyclerConfig(cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cold_tier_capacity_bytes"), std::string::npos);
+  cfg.cold_tier_capacity_bytes = -4096;
+  EXPECT_FALSE(ValidateRecyclerConfig(cfg).ok());
+
+  // Capacity only matters once a spill_dir enables the tier.
+  cfg = RecyclerConfig();
+  cfg.cold_tier_capacity_bytes = 0;
+  EXPECT_TRUE(ValidateRecyclerConfig(cfg).ok());
+}
+
+TEST(ConfigValidation, OpenRejectsUnwritableSpillDir) {
+  DatabaseOptions options;
+  // /proc is not writable even for root; directory creation must fail
+  // with an actionable message rather than degrading silently.
+  options.recycler.spill_dir = "/proc/rdb-no-such-spill-dir";
+  std::unique_ptr<Database> db;
+  Status st = Database::Open(options, &db);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("spill_dir"), std::string::npos);
+  EXPECT_EQ(db, nullptr);
+}
+
 TEST(ConfigValidation, OpenReturnsStatusAndLeavesOutUntouched) {
   DatabaseOptions options;
   options.recycler.speculation_h = -1;

@@ -18,6 +18,13 @@
 namespace recycledb {
 namespace {
 
+/// Reference configuration with recycling off (for expected results).
+RecyclerConfig OffConfig() {
+  RecyclerConfig cfg;
+  cfg.mode = RecyclerMode::kOff;
+  return cfg;
+}
+
 class ConcurrencyTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -68,7 +75,7 @@ TEST_F(ConcurrencyTest, MultiStreamOverlappingPlansUnderContention) {
 
   std::vector<std::multiset<std::string>> expected;
   for (int p = 0; p < 4; ++p) {
-    Recycler ref(&catalog_, RecyclerConfig{RecyclerMode::kOff});
+    Recycler ref(&catalog_, OffConfig());
     expected.push_back(
         recycledb::testing::RowMultiset(*ref.Execute(AggPlan(p)).table));
   }
@@ -130,7 +137,7 @@ TEST_F(ConcurrencyTest, InvalidateAndFlushRaceInFlightScans) {
   cfg.mode = RecyclerMode::kSpeculation;
   Recycler rec(&catalog_, cfg);
 
-  Recycler ref(&catalog_, RecyclerConfig{RecyclerMode::kOff});
+  Recycler ref(&catalog_, OffConfig());
   auto expected =
       recycledb::testing::RowMultiset(*ref.Execute(AggPlan(10)).table);
 
@@ -205,7 +212,7 @@ TEST_F(ConcurrencyTest, ColdStartHerdReusesOrStallsAndAgrees) {
   // one claims the speculative store, the rest either stall on the
   // in-flight materialization or reuse the finished result. Repeat with
   // fresh recyclers so the interleaving varies.
-  Recycler ref(&catalog_, RecyclerConfig{RecyclerMode::kOff});
+  Recycler ref(&catalog_, OffConfig());
   auto expected =
       recycledb::testing::RowMultiset(*ref.Execute(AggPlan(7)).table);
 
