@@ -103,6 +103,7 @@ Database::Database(DatabaseOptions options)
       raw_executor_(&catalog_),
       gate_(options_.max_concurrent),
       pool_(options_.async_threads) {
+  raw_executor_.set_zone_map_pruning(options_.recycler.enable_zone_map_pruning);
   SessionOptions session_options;
   session_options.name = "default";
   default_session_.reset(new Session(this, std::move(session_options)));

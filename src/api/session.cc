@@ -129,7 +129,10 @@ Result Session::RunValidatedPlan(const PlanPtr& plan) {
     plan->Bind(db_->catalog());
     QueryTrace trace;
     trace.template_hash = plan->template_hash();
-    result = Result::Of(db_->raw_executor().Run(plan), std::move(trace));
+    ExecResult exec = db_->raw_executor().Run(plan);
+    trace.blocks_scanned = exec.blocks_scanned;
+    trace.blocks_pruned = exec.blocks_pruned;
+    result = Result::Of(std::move(exec), std::move(trace));
   } else {
     QueryTrace trace;
     ExecResult exec = db_->recycler().Execute(plan, &trace);
@@ -152,6 +155,8 @@ void Session::Record(const Result& result) {
   stats_.cold_hits += result.cold_hits();
   stats_.materializations += result.materialized();
   stats_.stalls += result.trace().num_stalls;
+  stats_.blocks_scanned += result.trace().blocks_scanned;
+  stats_.blocks_pruned += result.trace().blocks_pruned;
   stats_.total_ms += result.total_ms();
   if (options_.collect_traces && options_.max_traces > 0) {
     if (traces_.size() < options_.max_traces) {

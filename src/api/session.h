@@ -58,6 +58,11 @@ struct SessionStats {
   int64_t materializations = 0;
   /// Waits on another stream's in-flight materialization.
   int64_t stalls = 0;
+  /// Scan blocks read vs. skipped by zone-map pruning across this
+  /// session's queries (pruned + scanned = blocks touched without
+  /// pruning).
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
   /// Total execution time across this session's queries.
   double total_ms = 0;
 };

@@ -1,0 +1,65 @@
+// Calibrated, deterministic per-operator cost model.
+//
+// The recycler's benefit ranking (Eq. 2: benefit = bcost * h / size)
+// originally refreshed bcost from wall-clock operator timings, which
+// made admission, eviction and spill decisions depend on scheduler
+// noise: two identical workloads could rank the same results
+// differently. The model replaces the refresh with
+//
+//   cost(op) = rows * row_width * c[op]        (sorts: * log2(rows))
+//
+// where c[op] is a per-operator nanoseconds-per-byte constant scaled by
+// one machine factor, measured once per process by a short memory-sweep
+// micro-probe (CostModel::Global()). For a given plan shape and observed
+// cardinalities the model is a pure function, so every engine instance
+// in the process ranks identically while costs stay in real
+// milliseconds and comparable to the wall-clock estimates used for
+// in-flight speculation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "exec/executor.h"
+#include "plan/plan.h"
+
+namespace recycledb {
+
+class CostModel {
+ public:
+  /// The process-wide calibrated model. The first call runs the
+  /// micro-probe (~1 ms); Recycler's constructor triggers it so query
+  /// timings never include calibration.
+  static const CostModel& Global();
+
+  /// Modeled exclusive cost of one operator emitting `rows` rows of
+  /// `row_width` bytes.
+  double OperatorMs(OpType op, int64_t rows, double row_width) const;
+
+  /// Modeled inclusive (subtree) cost of `node`, using the observed
+  /// per-node cardinalities in `runtime`. Nodes without a runtime entry
+  /// contribute their children only (their own cardinality is unknown;
+  /// under-counting keeps bcost conservative).
+  double SubtreeMs(const PlanNode& node,
+                   const std::map<const PlanNode*, NodeRuntime>& runtime) const;
+
+  /// Probe-measured scaling applied to the per-operator constants
+  /// (1.0 = the reference machine; exposed for diagnostics/tests).
+  double machine_factor() const { return machine_factor_; }
+
+  /// Uncalibrated model with `machine_factor` fixed (tests).
+  explicit CostModel(double machine_factor);
+
+ private:
+  static constexpr int kNumOps =
+      static_cast<int>(OpType::kCachedScan) + 1;
+
+  double machine_factor_ = 1.0;
+  double ns_per_byte_[kNumOps];
+};
+
+/// Estimated in-flight row width of a plan node's output (bytes/row,
+/// from its output schema; strings count at a nominal average width).
+double ModelRowWidth(const Schema& schema);
+
+}  // namespace recycledb

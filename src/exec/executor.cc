@@ -3,8 +3,42 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "exec/operators.h"
+#include "expr/range.h"
 
 namespace recycledb {
+
+namespace {
+
+/// True when a zone of `column_type` can be compared against both bounds
+/// of `range` (numeric vs numeric, string vs string). Guards DatumCompare
+/// from mixed-kind comparisons on ill-typed predicates, which fail later
+/// in expression evaluation with a proper error.
+bool HintComparable(TypeId column_type, const ColumnInterval& range) {
+  auto ok = [column_type](const RangeBound& b) {
+    if (b.unbounded) return true;
+    TypeId vt = DatumType(b.value);
+    if (column_type == TypeId::kString) return vt == TypeId::kString;
+    return IsNumeric(column_type) && IsNumeric(vt);
+  };
+  return ok(range.lo) && ok(range.hi);
+}
+
+/// Derives zone-map prune hints for a Select directly over a (cached)
+/// scan: one hint per range-conjunct column that exists in the scan's
+/// output. Returns an empty vector when nothing is prunable.
+std::vector<ScanOp::PruneHint> DerivePruneHints(const PlanNode& select) {
+  std::vector<ScanOp::PruneHint> hints;
+  const Schema& child_schema = select.child()->output_schema();
+  for (const RangeSpec& spec : ExtractRangeSpecs(select.predicate(), nullptr)) {
+    int pos = child_schema.IndexOf(spec.column);
+    if (pos < 0) continue;
+    if (!HintComparable(child_schema.field(pos).type, spec.range)) continue;
+    hints.push_back({pos, spec.range});
+  }
+  return hints;
+}
+
+}  // namespace
 
 OperatorPtr Executor::BuildOperator(
     const PlanPtr& plan,
@@ -42,6 +76,20 @@ OperatorPtr Executor::BuildOperator(
     }
     case OpType::kSelect: {
       auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      // Push range conjuncts down as zone-map prune hints when the child
+      // is a plain scan. Scans are never cacheable (CacheableType), so
+      // `child` is the raw ScanOp, never a StoreOp wrapper.
+      const OpType child_type = plan->child()->type();
+      if (zone_map_pruning_ &&
+          (child_type == OpType::kScan || child_type == OpType::kCachedScan) &&
+          (store_requests == nullptr ||
+           store_requests->find(plan->child().get()) ==
+               store_requests->end())) {
+        auto hints = DerivePruneHints(*plan);
+        if (!hints.empty()) {
+          static_cast<ScanOp*>(child.get())->SetPruneHints(std::move(hints));
+        }
+      }
       op = std::make_unique<FilterOp>(plan->output_schema(), std::move(child),
                                       plan->predicate());
       break;
@@ -127,6 +175,8 @@ ExecResult Executor::Run(
     rt.stats = op->stats();
     rt.inclusive_ms = op->stats().inclusive_ms;
     rt.rows_out = op->stats().rows_out;
+    result.blocks_scanned += op->stats().blocks_scanned;
+    result.blocks_pruned += op->stats().blocks_pruned;
     result.node_runtime[node] = rt;
   }
   return result;

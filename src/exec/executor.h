@@ -23,6 +23,10 @@ struct NodeRuntime {
 struct ExecResult {
   TablePtr table;
   double total_ms = 0;
+  /// Zone-map pruning totals over every scan of the plan (1024-row
+  /// blocks read vs. skipped).
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
   /// One entry per plan node of the executed plan.
   std::map<const PlanNode*, NodeRuntime> node_runtime;
 };
@@ -38,6 +42,12 @@ class Executor {
  public:
   explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
 
+  /// Enables/disables zone-map scan pruning (on by default). Set at
+  /// engine construction, before any Run(): the flag is read during
+  /// operator building, so flipping it concurrently with Run() is a race.
+  void set_zone_map_pruning(bool enabled) { zone_map_pruning_ = enabled; }
+  bool zone_map_pruning() const { return zone_map_pruning_; }
+
   /// Builds the operator tree for `plan` (bound) and drains it.
   ExecResult Run(const PlanPtr& plan,
                  const std::map<const PlanNode*, StoreRequest>*
@@ -51,6 +61,7 @@ class Executor {
 
  private:
   const Catalog* catalog_;
+  bool zone_map_pruning_ = true;
 };
 
 }  // namespace recycledb

@@ -25,6 +25,10 @@ struct OpStats {
   /// paper's measured base cost of the subtree rooted here (children are
   /// pulled from inside Next(), so their time is included).
   double inclusive_ms = 0;
+  /// Zone-map pruning (ScanOp only): 1024-row blocks actually read vs.
+  /// skipped because their zone excluded every prune-hint interval.
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 /// Pull-based physical operator. Lifecycle: Open() once, Next() until it

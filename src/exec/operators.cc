@@ -53,14 +53,41 @@ ScanOp::ScanOp(Schema output_schema, TablePtr table,
   RDB_CHECK(table_ != nullptr);
 }
 
+void ScanOp::SetPruneHints(std::vector<PruneHint> hints) {
+  hints_ = std::move(hints);
+}
+
 void ScanOp::Open() { pos_ = 0; }
 
+bool ScanOp::BlockPruned(int64_t block) const {
+  // A block is skippable when any hinted column's zone excludes the
+  // hint's interval (conjunctive predicate: one dead conjunct kills the
+  // whole block).
+  for (const PruneHint& h : hints_) {
+    const ZoneMap& zm = table_->zone_map(column_indices_[h.output_column]);
+    if (!zm.MayOverlap(block, h.range)) return true;
+  }
+  return false;
+}
+
 bool ScanOp::Next(Batch* out) {
-  if (pos_ >= table_->num_rows()) return false;
-  int64_t count = std::min(kDefaultBatchRows, table_->num_rows() - pos_);
-  EmitTableViews(*table_, column_indices_, pos_, count, out);
-  pos_ += count;
-  return true;
+  // pos_ only ever advances by full batches, so it stays aligned to the
+  // kZoneMapBlockRows (== kDefaultBatchRows) grid and each emission is
+  // exactly one zone-map block.
+  const int64_t rows = table_->num_rows();
+  while (pos_ < rows) {
+    int64_t count = std::min(kDefaultBatchRows, rows - pos_);
+    if (!hints_.empty() && BlockPruned(pos_ / kZoneMapBlockRows)) {
+      ++stats_.blocks_pruned;
+      pos_ += count;
+      continue;
+    }
+    ++stats_.blocks_scanned;
+    EmitTableViews(*table_, column_indices_, pos_, count, out);
+    pos_ += count;
+    return true;
+  }
+  return false;
 }
 
 double ScanOp::Progress() const {

@@ -14,9 +14,23 @@ namespace recycledb {
 /// Base-table (or materialized-table) scan with column pruning.
 class ScanOp : public Operator {
  public:
+  /// A zone-map prune hint: the scan may skip any 1024-row block whose
+  /// zone on `output_column` (index into this scan's output schema)
+  /// excludes `range`. Conservative metadata only — the parent filter
+  /// still evaluates its full predicate, so results are bit-identical
+  /// with or without hints.
+  struct PruneHint {
+    int output_column = 0;
+    ColumnInterval range;
+  };
+
   /// `table` must outlive the operator. `column_indices` selects and orders
   /// the emitted columns.
   ScanOp(Schema output_schema, TablePtr table, std::vector<int> column_indices);
+
+  /// Installs prune hints (from the parent Select's range conjuncts).
+  /// Must be called before Open().
+  void SetPruneHints(std::vector<PruneHint> hints);
 
   void Open() override;
   bool Next(Batch* out) override;
@@ -24,8 +38,11 @@ class ScanOp : public Operator {
   double Progress() const override;
 
  private:
+  bool BlockPruned(int64_t block) const;
+
   TablePtr table_;
   std::vector<int> column_indices_;
+  std::vector<PruneHint> hints_;
   int64_t pos_ = 0;
 };
 

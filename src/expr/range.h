@@ -1,0 +1,46 @@
+// Range decomposition of selection predicates.
+//
+// Splits a predicate into per-column interval specs (`10 < x AND x < 50`
+// plus arbitrary non-range conjuncts). Consumers: the recycler's
+// interval index and stitching rewriter (partial reuse), the executor's
+// zone-map scan pruning, and Plan::Explain's prunable-range annotation.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/interval.h"
+#include "expr/expression.h"
+
+namespace recycledb {
+
+/// A selection predicate decomposed around one ranged column: the
+/// column's interval plus every remaining conjunct ("others", matched by
+/// fingerprint between cached slice and query).
+struct RangeSpec {
+  /// Ranged column name in the predicate's own name space.
+  std::string column;
+  /// `column` translated through the extraction mapping (equal to
+  /// `column` when no mapping was given). Graph-space index key.
+  std::string mapped_column;
+  /// The conjunction of all range conjuncts on `column`.
+  ColumnInterval range;
+  /// Non-range conjuncts, original expressions (predicate name space).
+  std::vector<ExprPtr> others;
+  /// Fingerprints of `others` under the extraction mapping.
+  std::set<std::string> other_fps;
+};
+
+/// Decomposes a selection predicate into one RangeSpec per column that
+/// carries at least one range conjunct (`col < lit`, `lit <= col`, ...).
+/// Every conjunct not contributing to a spec's column lands in that
+/// spec's `others` — including range conjuncts on *different* columns,
+/// which then must match by fingerprint like any other conjunct. Specs
+/// whose interval is empty (contradictory predicate) are dropped.
+/// `mapping` (optional) translates column names for `mapped_column` and
+/// `other_fps` (query space -> graph space).
+std::vector<RangeSpec> ExtractRangeSpecs(const ExprPtr& pred,
+                                         const NameMap* mapping);
+
+}  // namespace recycledb

@@ -5,6 +5,7 @@
 #include "common/hash.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "expr/range.h"
 #include "plan/table_function.h"
 
 namespace recycledb {
@@ -615,9 +616,24 @@ std::string PlanNode::Explain(int indent) const {
       line += ")";
       break;
     }
-    case OpType::kSelect:
+    case OpType::kSelect: {
       line = "Filter " + ExprDisplay(predicate_);
+      // A Filter directly over a (cached) scan pushes its range conjuncts
+      // down as zone-map prune hints at build time; surface the prunable
+      // intervals here. Runtime pruned/scanned block counts land in
+      // QueryTrace (Explain renders before execution).
+      if (!children_.empty() &&
+          (children_[0]->type() == OpType::kScan ||
+           children_[0]->type() == OpType::kCachedScan)) {
+        std::string pruned;
+        for (const RangeSpec& spec : ExtractRangeSpecs(predicate_, nullptr)) {
+          if (!pruned.empty()) pruned += ", ";
+          pruned += spec.column + " in " + IntervalToString(spec.range);
+        }
+        if (!pruned.empty()) line += " prune[" + pruned + "]";
+      }
       break;
+    }
     case OpType::kProject: {
       line = "Project ";
       for (size_t i = 0; i < projections_.size(); ++i) {

@@ -110,6 +110,18 @@ bool ColdTier::Has(const RGNode* node) const {
   return live_.count(node) > 0;
 }
 
+bool ColdTier::EntrySizes(const RGNode* node, int64_t* stored_bytes,
+                          int64_t* raw_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(node);
+  if (it == live_.end()) return false;
+  *stored_bytes = it->second->bytes;
+  // v1 files predate the raw_bytes header field; stored == raw there.
+  *raw_bytes = it->second->meta.raw_bytes > 0 ? it->second->meta.raw_bytes
+                                              : it->second->bytes;
+  return true;
+}
+
 void ColdTier::EvictRec(ClockIt it, std::vector<const RGNode*>* dropped_nodes) {
   if (it->node != nullptr) {
     live_.erase(it->node);
@@ -155,7 +167,13 @@ bool ColdTier::Spill(const RGNode* node, const std::string& canon_key,
   // destroy a still-valid image.
   const std::string path = FilePath(HashString(canon_key));
   ++next_file_id_;
-  if (!WriteSpillFile(path, table, meta).ok()) return false;
+  SpillWriteOptions wopts;
+  wopts.compress = compress_;
+  SpillFileMeta stored = meta;
+  if (!WriteSpillFile(path, table, stored, wopts).ok()) return false;
+  // Re-read the stamped header so the in-memory copy carries the
+  // writer-computed raw_bytes (compression-ratio accounting).
+  if (!ReadSpillMeta(path, &stored).ok()) stored = meta;
   std::error_code ec;
   int64_t bytes = static_cast<int64_t>(fs::file_size(path, ec));
   if (ec) bytes = table.ByteSize();
@@ -175,7 +193,7 @@ bool ColdTier::Spill(const RGNode* node, const std::string& canon_key,
   rec.bytes = bytes;
   rec.second_chance = false;  // earns its bit on first cold hit
   rec.node = node;
-  rec.meta = meta;
+  rec.meta = std::move(stored);
   clock_.push_back(std::move(rec));
   ClockIt it = std::prev(clock_.end());
   live_[node] = it;
@@ -234,6 +252,10 @@ ColdTierStats ColdTier::Stats() const {
   s.orphans = num_orphans_.load(std::memory_order_relaxed);
   s.used_bytes = used_bytes_;
   s.capacity_bytes = capacity_bytes_;
+  for (const Rec& r : clock_) {
+    // v1 files predate the raw_bytes header field; stored == raw there.
+    s.raw_bytes += r.meta.raw_bytes > 0 ? r.meta.raw_bytes : r.bytes;
+  }
   return s;
 }
 

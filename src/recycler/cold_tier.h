@@ -51,6 +51,9 @@ struct ColdTierStats {
   int64_t orphans = 0;        // entries not yet adopted by a graph node
   int64_t used_bytes = 0;
   int64_t capacity_bytes = 0;
+  /// Uncompressed size of the stored entries (what used_bytes would be
+  /// without column compression; equals used_bytes for v1 files).
+  int64_t raw_bytes = 0;
 };
 
 class ColdTier {
@@ -74,6 +77,11 @@ class ColdTier {
 
   bool enabled() const { return enabled_; }
 
+  /// Whether Spill compresses columns (format v2 codec selection). Set
+  /// once at engine construction, before any Spill call.
+  void set_compress(bool v) { compress_ = v; }
+  bool compress() const { return compress_; }
+
   /// Cheap pre-check for the adoption probe on graph insertion.
   bool has_orphans() const {
     return num_orphans_.load(std::memory_order_relaxed) > 0;
@@ -81,6 +89,11 @@ class ColdTier {
 
   /// True when `node` has a live spill file.
   bool Has(const RGNode* node) const;
+
+  /// On-disk and uncompressed sizes of `node`'s live entry; false when
+  /// it has none (spill-byte accounting in the recycler's counters).
+  bool EntrySizes(const RGNode* node, int64_t* stored_bytes,
+                  int64_t* raw_bytes) const;
 
   /// Writes `table` as `node`'s spill file (no-op true if one is already
   /// live). Runs the second-chance sweep to fit the byte cap first;
@@ -141,6 +154,7 @@ class ColdTier {
 
   mutable std::mutex mu_;
   bool enabled_ = false;
+  bool compress_ = true;
   std::string dir_;
   int64_t capacity_bytes_ = 0;
   int64_t used_bytes_ = 0;

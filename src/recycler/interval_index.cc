@@ -6,153 +6,6 @@
 
 namespace recycledb {
 
-bool LoTighter(const RangeBound& a, const RangeBound& b) {
-  if (a.unbounded) return false;
-  if (b.unbounded) return true;
-  int cmp = DatumCompare(a.value, b.value);
-  if (cmp != 0) return cmp > 0;
-  return !a.inclusive && b.inclusive;
-}
-
-bool HiTighter(const RangeBound& a, const RangeBound& b) {
-  if (a.unbounded) return false;
-  if (b.unbounded) return true;
-  int cmp = DatumCompare(a.value, b.value);
-  if (cmp != 0) return cmp < 0;
-  return !a.inclusive && b.inclusive;
-}
-
-RangeBound TighterLo(const RangeBound& a, const RangeBound& b) {
-  return LoTighter(a, b) ? a : b;
-}
-
-RangeBound TighterHi(const RangeBound& a, const RangeBound& b) {
-  return HiTighter(a, b) ? a : b;
-}
-
-bool IntervalEmpty(const ColumnInterval& i) {
-  if (i.lo.unbounded || i.hi.unbounded) return false;
-  int cmp = DatumCompare(i.lo.value, i.hi.value);
-  if (cmp != 0) return cmp > 0;
-  return !(i.lo.inclusive && i.hi.inclusive);
-}
-
-bool Overlaps(const ColumnInterval& a, const ColumnInterval& b) {
-  return !IntervalEmpty(Intersect(a, b));
-}
-
-ColumnInterval Intersect(const ColumnInterval& a, const ColumnInterval& b) {
-  return {TighterLo(a.lo, b.lo), TighterHi(a.hi, b.hi)};
-}
-
-RangeBound ComplementHi(const RangeBound& lo) {
-  RDB_CHECK(!lo.unbounded);
-  return {false, lo.value, !lo.inclusive};
-}
-
-RangeBound ComplementLo(const RangeBound& hi) {
-  RDB_CHECK(!hi.unbounded);
-  return {false, hi.value, !hi.inclusive};
-}
-
-namespace {
-
-/// Classifies `conjunct` as a range comparison between one column and one
-/// literal. Normalizes `lit op col` to the column-first form.
-bool AsRangeConjunct(const ExprPtr& conjunct, std::string* column,
-                     bool* is_lower, RangeBound* bound) {
-  if (conjunct->kind() != ExprKind::kCompare) return false;
-  CompareOp op = conjunct->compare_op();
-  if (op == CompareOp::kEq || op == CompareOp::kNe) return false;
-  const ExprPtr& l = conjunct->children()[0];
-  const ExprPtr& r = conjunct->children()[1];
-  const Expr* col = nullptr;
-  const Expr* lit = nullptr;
-  bool flipped = false;
-  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
-    col = l.get();
-    lit = r.get();
-  } else if (l->kind() == ExprKind::kLiteral &&
-             r->kind() == ExprKind::kColumnRef) {
-    col = r.get();
-    lit = l.get();
-    flipped = true;  // `lit op col` reads as `col op' lit` with op mirrored
-  } else {
-    return false;
-  }
-  if (std::holds_alternative<std::monostate>(lit->literal()) ||
-      std::holds_alternative<bool>(lit->literal())) {
-    return false;  // no ordering worth stitching on
-  }
-  if (flipped) {
-    switch (op) {
-      case CompareOp::kLt: op = CompareOp::kGt; break;
-      case CompareOp::kLe: op = CompareOp::kGe; break;
-      case CompareOp::kGt: op = CompareOp::kLt; break;
-      case CompareOp::kGe: op = CompareOp::kLe; break;
-      default: return false;
-    }
-  }
-  *column = col->column_name();
-  bound->unbounded = false;
-  bound->value = lit->literal();
-  bound->inclusive = op == CompareOp::kLe || op == CompareOp::kGe;
-  *is_lower = op == CompareOp::kGt || op == CompareOp::kGe;
-  return true;
-}
-
-}  // namespace
-
-std::vector<RangeSpec> ExtractRangeSpecs(const ExprPtr& pred,
-                                         const NameMap* mapping) {
-  std::vector<RangeSpec> out;
-  if (pred == nullptr) return out;
-  std::vector<ExprPtr> conjuncts = SplitConjuncts(pred);
-
-  // Pass 1: fold each column's range conjuncts into one interval and
-  // remember which conjunct positions contributed to which column.
-  struct PerColumn {
-    ColumnInterval range;
-    std::vector<size_t> positions;
-  };
-  std::map<std::string, PerColumn> ranged;
-  for (size_t i = 0; i < conjuncts.size(); ++i) {
-    std::string column;
-    bool is_lower = false;
-    RangeBound bound;
-    if (!AsRangeConjunct(conjuncts[i], &column, &is_lower, &bound)) continue;
-    PerColumn& pc = ranged[column];
-    if (is_lower) {
-      pc.range.lo = TighterLo(pc.range.lo, bound);
-    } else {
-      pc.range.hi = TighterHi(pc.range.hi, bound);
-    }
-    pc.positions.push_back(i);
-  }
-
-  // Pass 2: one spec per ranged column; everything else is "others".
-  for (auto& [column, pc] : ranged) {
-    if (IntervalEmpty(pc.range)) continue;  // contradictory predicate
-    RangeSpec spec;
-    spec.column = column;
-    if (mapping != nullptr) {
-      auto it = mapping->find(column);
-      spec.mapped_column = it == mapping->end() ? column : it->second;
-    } else {
-      spec.mapped_column = column;
-    }
-    spec.range = pc.range;
-    std::set<size_t> mine(pc.positions.begin(), pc.positions.end());
-    for (size_t i = 0; i < conjuncts.size(); ++i) {
-      if (mine.count(i) > 0) continue;
-      spec.others.push_back(conjuncts[i]);
-      spec.other_fps.insert(conjuncts[i]->Fingerprint(mapping));
-    }
-    out.push_back(std::move(spec));
-  }
-  return out;
-}
-
 void IntervalIndex::Insert(int64_t child_id, const std::string& column,
                            Entry entry) {
   Key key{child_id, column};

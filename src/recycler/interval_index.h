@@ -8,97 +8,26 @@
 // the stitching rewriter (TryPartialStitch, subsumption.h) answers the
 // query from the union of the overlapping slices plus compensated delta
 // scans over the uncovered remainder.
+//
+// The interval arithmetic lives in common/interval.h and the predicate
+// decomposition in expr/range.h (both included here for their historical
+// call sites); this header adds only the index itself.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
-#include "expr/expression.h"
+#include "common/interval.h"
+#include "expr/range.h"
 
 namespace recycledb {
 
 struct RGNode;
-
-/// One end of a (possibly half-open or unbounded) column interval.
-struct RangeBound {
-  /// True when the bound is absent (-inf for a lower, +inf for an upper).
-  bool unbounded = true;
-  /// Bound value; meaningful only when !unbounded.
-  Datum value{};
-  /// True for >= / <= bounds, false for > / <.
-  bool inclusive = false;
-};
-
-/// A one-column interval `lo .. hi` with independent open/closed ends.
-struct ColumnInterval {
-  RangeBound lo;
-  RangeBound hi;
-};
-
-/// True if `a` is the strictly tighter LOWER bound (starts later than
-/// `b`; an exclusive bound at the same value is tighter than an
-/// inclusive one).
-bool LoTighter(const RangeBound& a, const RangeBound& b);
-
-/// True if `a` is the strictly tighter UPPER bound (ends earlier).
-bool HiTighter(const RangeBound& a, const RangeBound& b);
-
-/// The tighter of two lower / upper bounds.
-RangeBound TighterLo(const RangeBound& a, const RangeBound& b);
-RangeBound TighterHi(const RangeBound& a, const RangeBound& b);
-
-/// True when the interval contains no value (lo past hi, or equal with
-/// either end open). Unbounded ends never make an interval empty.
-bool IntervalEmpty(const ColumnInterval& i);
-
-/// True when the two intervals share at least one value (a shared closed
-/// boundary point counts).
-bool Overlaps(const ColumnInterval& a, const ColumnInterval& b);
-
-/// Intersection (may be empty; check IntervalEmpty).
-ColumnInterval Intersect(const ColumnInterval& a, const ColumnInterval& b);
-
-/// The upper bound ending immediately before lower bound `lo`
-/// (value-equal, complementary inclusiveness). `lo` must be bounded.
-RangeBound ComplementHi(const RangeBound& lo);
-
-/// The lower bound starting immediately after upper bound `hi`
-/// (value-equal, complementary inclusiveness). `hi` must be bounded.
-RangeBound ComplementLo(const RangeBound& hi);
-
-/// A selection predicate decomposed around one ranged column: the
-/// column's interval plus every remaining conjunct ("others", matched by
-/// fingerprint between cached slice and query).
-struct RangeSpec {
-  /// Ranged column name in the predicate's own name space.
-  std::string column;
-  /// `column` translated through the extraction mapping (equal to
-  /// `column` when no mapping was given). Graph-space index key.
-  std::string mapped_column;
-  /// The conjunction of all range conjuncts on `column`.
-  ColumnInterval range;
-  /// Non-range conjuncts, original expressions (predicate name space).
-  std::vector<ExprPtr> others;
-  /// Fingerprints of `others` under the extraction mapping.
-  std::set<std::string> other_fps;
-};
-
-/// Decomposes a selection predicate into one RangeSpec per column that
-/// carries at least one range conjunct (`col < lit`, `lit <= col`, ...).
-/// Every conjunct not contributing to a spec's column lands in that
-/// spec's `others` — including range conjuncts on *different* columns,
-/// which then must match by fingerprint like any other conjunct. Specs
-/// whose interval is empty (contradictory predicate) are dropped.
-/// `mapping` (optional) translates column names for `mapped_column` and
-/// `other_fps` (query space -> graph space).
-std::vector<RangeSpec> ExtractRangeSpecs(const ExprPtr& pred,
-                                         const NameMap* mapping);
 
 /// The interval index: cached range-selection slices keyed by
 /// (child graph-node id, graph-space column name), each bucket sorted by

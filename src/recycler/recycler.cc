@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "exec/cost_model.h"
 #include "recycler/proactive.h"
 #include "recycler/subsumption.h"
 
@@ -114,6 +115,11 @@ Recycler::Recycler(const Catalog* catalog, RecyclerConfig config)
              config.cache_policy),
       executor_(catalog) {
   RDB_CHECK(catalog != nullptr);
+  executor_.set_zone_map_pruning(config_.enable_zone_map_pruning);
+  // Calibrate the shared cost model now so the micro-probe never lands
+  // inside a query's timing.
+  if (config_.use_cost_model) CostModel::Global();
+  cold_tier_.set_compress(config_.compress_spill);
   // Database::Open pre-validates the directory and returns an actionable
   // Status; direct constructions with an unusable spill_dir degrade to
   // memory-only behavior rather than aborting.
@@ -227,7 +233,14 @@ bool Recycler::MaybeSpill(RGNode* node) {
   for (const RGNode* d : dropped) {
     OnColdEntryDropped(const_cast<RGNode*>(d));
   }
-  if (ok) counters_.cold_spills.fetch_add(1);
+  if (ok) {
+    counters_.cold_spills.fetch_add(1);
+    int64_t stored = 0, raw = 0;
+    if (cold_tier_.EntrySizes(node, &stored, &raw)) {
+      counters_.cold_spill_stored_bytes.fetch_add(stored);
+      counters_.cold_spill_raw_bytes.fetch_add(raw);
+    }
+  }
   return ok;
 }
 
@@ -1279,6 +1292,12 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
 
 void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
   counters_.queries.fetch_add(1);
+  // Zone-map accounting applies in every mode (pruning also serves the
+  // kOff baseline), so it lands before the early return below.
+  prepared->trace_.blocks_scanned = result.blocks_scanned;
+  prepared->trace_.blocks_pruned = result.blocks_pruned;
+  counters_.blocks_scanned.fetch_add(result.blocks_scanned);
+  counters_.blocks_pruned.fetch_add(result.blocks_pruned);
   if (prepared->trace_.template_hash != 0) {
     std::lock_guard<std::mutex> lock(template_mu_);
     TemplateStats& ts = template_stats_[prepared->trace_.template_hash];
@@ -1315,8 +1334,15 @@ void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {
     auto it = result.node_runtime.find(node);
     if (it == result.node_runtime.end()) continue;
     const NodeRuntime& rt = it->second;
-    double bcost = rt.inclusive_ms + walker.ReplacedBelow(node);
-    gnode->bcost_ms.store(bcost);  // refresh with the current system load
+    // Subtree cost: the calibrated model (deterministic in plan shape and
+    // observed cardinalities, so identical workloads produce identical
+    // benefit rankings) or the measured wall clock, by configuration.
+    const double subtree_ms =
+        config_.use_cost_model
+            ? CostModel::Global().SubtreeMs(*node, result.node_runtime)
+            : rt.inclusive_ms;
+    double bcost = subtree_ms + walker.ReplacedBelow(node);
+    gnode->bcost_ms.store(bcost);  // refresh (wall-clock mode: with load)
     gnode->has_bcost.store(true);
     gnode->rows.store(rt.rows_out);
     if (!gnode->has_size.load()) {

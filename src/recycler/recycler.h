@@ -79,6 +79,21 @@ struct RecyclerConfig {
   /// Minimum benefit (Eq. 1) an evicted result must retain to be worth
   /// spilling; 0 spills every evicted result.
   double spill_min_benefit = 0.0;
+  /// Refresh node build costs (bcost, Eq. 2) from the calibrated
+  /// per-operator cost model instead of wall-clock timings. The model is
+  /// deterministic for a given plan shape and cardinality, so benefit
+  /// rankings — and therefore admission/eviction/spill decisions — stop
+  /// depending on scheduler noise. When false, measured milliseconds are
+  /// used as before.
+  bool use_cost_model = true;
+  /// Compress cold-tier spill payloads (format v2 per-column codecs).
+  /// Stored results are bit-identical either way; compression only
+  /// changes how many entries fit under cold_tier_capacity_bytes.
+  bool compress_spill = true;
+  /// Consult base-table zone maps to skip scan blocks that cannot match
+  /// a query's range predicate. Pruning is conservative (never skips a
+  /// possibly-matching block), so results are identical either way.
+  bool enable_zone_map_pruning = true;
 };
 
 /// Per-query observability record (drives Fig. 9 traces and Fig. 10).
@@ -100,6 +115,11 @@ struct QueryTrace {
   double match_ms = 0;             // matching + insertion cost (Fig. 10)
   double stall_ms = 0;
   int64_t graph_nodes_at_match = 0;
+  /// Zone-map accounting for this query's scans: 1024-row blocks read
+  /// vs. skipped (pruned + scanned = blocks the scans would touch
+  /// without zone maps).
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 /// Reuse accounting aggregated per prepared-statement template: the unit
@@ -139,6 +159,15 @@ struct RecyclerCounters {
   std::atomic<int64_t> cold_load_errors{0};
   /// Restart orphans adopted by newly inserted graph nodes.
   std::atomic<int64_t> cold_adoptions{0};
+  /// Uncompressed vs. on-disk bytes of spill files written (ratio =
+  /// column-compression win; raw == stored when compress_spill is off).
+  std::atomic<int64_t> cold_spill_raw_bytes{0};
+  std::atomic<int64_t> cold_spill_stored_bytes{0};
+  // --- zone maps -------------------------------------------------------
+  /// Scan blocks read vs. skipped via zone-map pruning, across all
+  /// queries (base-table and cached-result scans alike).
+  std::atomic<int64_t> blocks_scanned{0};
+  std::atomic<int64_t> blocks_pruned{0};
 };
 
 class Recycler;

@@ -333,6 +333,24 @@ PartialPlan TryPartialStitch(const PlanNode& query_node,
   // so the child subtree executes at most once per stitched plan.
   std::vector<ColumnInterval> gaps;
 
+  // Gap filter: besides plainly empty intervals, drop zero-width gaps on
+  // integer columns — e.g. slices [.,100] and [101,.) stitched for a query
+  // spanning both leave the "gap" (100, 101), which no integer can ever
+  // satisfy. Without this the stitch builds (and executes) a delta branch
+  // guaranteed to return nothing. Only genuinely integer domains qualify:
+  // a double column with integer literal bounds has values between them.
+  const int range_col = query_node.output_schema().IndexOf(spec.column);
+  const TypeId range_type = range_col >= 0
+                                ? query_node.output_schema().field(range_col).type
+                                : TypeId::kDouble;
+  const bool integer_domain = range_type == TypeId::kInt32 ||
+                              range_type == TypeId::kInt64 ||
+                              range_type == TypeId::kDate;
+  auto gap_empty = [&](const ColumnInterval& gap) {
+    if (IntervalEmpty(gap)) return true;
+    return integer_domain && IntervalEmptyOnIntegerDomain(gap);
+  };
+
   // Sweep the query interval left to right, assigning each position to
   // the first cached slice that covers it. Adjacent pieces meet with
   // complementary open/closed boundaries (ComplementLo/Hi), so boundary
@@ -349,7 +367,7 @@ PartialPlan TryPartialStitch(const PlanNode& query_node,
     if (IntervalEmpty(clip)) continue;  // already covered by earlier slices
     if (LoTighter(clip.lo, cursor)) {
       ColumnInterval gap{cursor, ComplementHi(clip.lo)};
-      if (!IntervalEmpty(gap)) gaps.push_back(gap);
+      if (!gap_empty(gap)) gaps.push_back(gap);
     }
     // Compensation: residual conjuncts the slice did not apply, plus the
     // clip bounds that are tighter than the slice's own (a clip bound
@@ -379,7 +397,7 @@ PartialPlan TryPartialStitch(const PlanNode& query_node,
   }
   if (!exhausted) {
     ColumnInterval rem{cursor, q.hi};
-    if (!IntervalEmpty(rem)) gaps.push_back(rem);
+    if (!gap_empty(rem)) gaps.push_back(rem);
   }
   if (out.reuse_pieces.empty()) return {};
 

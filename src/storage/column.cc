@@ -242,4 +242,72 @@ bool ColumnVector::RowEquals(int64_t a, const ColumnVector& other,
 
 ColumnPtr MakeColumn(TypeId type) { return std::make_shared<ColumnVector>(type); }
 
+namespace {
+
+/// Folds rows [from, to) of a typed column into block summaries. `D` is
+/// the Datum alternative used for the stored min/max (bool for kBool,
+/// int32_t for kInt32/kDate, ...).
+template <typename D, typename T>
+void FoldRows(const T* data, int64_t from, int64_t to,
+              std::vector<ZoneEntry>* blocks, bool* column_sorted) {
+  for (int64_t r = from; r < to; ++r) {
+    const D v = static_cast<D>(data[r]);
+    const int64_t b = r / kZoneMapBlockRows;
+    if (b >= static_cast<int64_t>(blocks->size())) {
+      blocks->push_back(ZoneEntry{Datum(v), Datum(v), true, true});
+    } else {
+      ZoneEntry& e = (*blocks)[b];
+      if (v < std::get<D>(e.min)) e.min = v;
+      if (v > std::get<D>(e.max)) e.max = v;
+      if (r % kZoneMapBlockRows != 0 && e.sorted &&
+          v < static_cast<D>(data[r - 1])) {
+        e.sorted = false;
+      }
+    }
+    if (r > 0 && *column_sorted && v < static_cast<D>(data[r - 1])) {
+      *column_sorted = false;
+    }
+  }
+}
+
+}  // namespace
+
+void ZoneMap::Update(const ColumnVector& col) {
+  RDB_CHECK(col.type() == type_);
+  const int64_t n = col.size();
+  if (n <= rows_covered_) return;
+  switch (type_) {
+    case TypeId::kBool:
+      FoldRows<bool>(col.Raw<uint8_t>(), rows_covered_, n, &blocks_, &sorted_);
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      FoldRows<int32_t>(col.Raw<int32_t>(), rows_covered_, n, &blocks_,
+                        &sorted_);
+      break;
+    case TypeId::kInt64:
+      FoldRows<int64_t>(col.Raw<int64_t>(), rows_covered_, n, &blocks_,
+                        &sorted_);
+      break;
+    case TypeId::kDouble:
+      FoldRows<double>(col.Raw<double>(), rows_covered_, n, &blocks_,
+                       &sorted_);
+      break;
+    case TypeId::kString:
+      FoldRows<std::string>(col.Raw<std::string>(), rows_covered_, n,
+                            &blocks_, &sorted_);
+      break;
+  }
+  rows_covered_ = n;
+}
+
+bool ZoneMap::MayOverlap(int64_t b, const ColumnInterval& query) const {
+  if (b < 0 || b >= num_blocks()) return true;  // uncovered: never prune
+  const ZoneEntry& e = blocks_[b];
+  // The block's value set lies within [min, max] (both closed); it can
+  // only match when that envelope intersects the query interval.
+  ColumnInterval envelope{{false, e.min, true}, {false, e.max, true}};
+  return Overlaps(envelope, query);
+}
+
 }  // namespace recycledb

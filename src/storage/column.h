@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/interval.h"
 #include "common/macros.h"
 #include "common/types.h"
 
@@ -148,5 +149,61 @@ class ColumnVector {
 
 /// Creates an empty column of the given type.
 ColumnPtr MakeColumn(TypeId type);
+
+// ---------------------------------------------------------------------------
+// Zone maps (per-block min/max pruning metadata).
+// ---------------------------------------------------------------------------
+
+/// Rows per zone-map block. Equal to kDefaultBatchRows on purpose: ScanOp
+/// emits batches aligned to the same 1024-row grid (pos_ only ever
+/// advances by full batches), so one zone-map block maps 1:1 to one scan
+/// batch and pruning can skip whole Next() emissions.
+inline constexpr int64_t kZoneMapBlockRows = 1024;
+
+/// Per-block summary. `null_free` is trivially true in this engine (the
+/// value domain is NULL-free by design, see DESIGN.md) but is kept per
+/// block so the format does not change if NULLs ever appear.
+struct ZoneEntry {
+  Datum min{};
+  Datum max{};
+  /// Rows within the block are non-decreasing.
+  bool sorted = true;
+  bool null_free = true;
+};
+
+/// Per-column block summaries, maintained incrementally by Table on
+/// append (single-writer; tables are immutable once published to the
+/// catalog or the recycler cache, so readers never race an update).
+class ZoneMap {
+ public:
+  explicit ZoneMap(TypeId type) : type_(type) {}
+
+  /// Folds rows [rows_covered(), col.size()) of `col` into the block
+  /// summaries. Appends never shrink, so maintenance is strictly
+  /// incremental; the last (partial) block is re-tightened in place as
+  /// it fills.
+  void Update(const ColumnVector& col);
+
+  TypeId type() const { return type_; }
+  int64_t rows_covered() const { return rows_covered_; }
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+  const ZoneEntry& block(int64_t b) const { return blocks_[b]; }
+  /// The whole column is non-decreasing across all covered rows.
+  bool sorted() const { return sorted_; }
+
+  /// True when block `b` may hold a value inside `query` (conservative:
+  /// never prunes a block that overlaps). Blocks beyond num_blocks() are
+  /// reported as possibly-overlapping so stale maps only lose pruning,
+  /// never correctness.
+  bool MayOverlap(int64_t b, const ColumnInterval& query) const;
+
+ private:
+  TypeId type_;
+  std::vector<ZoneEntry> blocks_;
+  int64_t rows_covered_ = 0;
+  bool sorted_ = true;
+};
+
+using ZoneMapPtr = std::shared_ptr<ZoneMap>;
 
 }  // namespace recycledb

@@ -5,72 +5,24 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "storage/compression.h"
+#include "storage/wire_format.h"
 
 namespace recycledb {
 
 namespace {
 
+using wire::Cursor;
+using wire::PutDouble;
+using wire::PutString;
+using wire::PutU32;
+using wire::PutU64;
+
 constexpr char kMagic[4] = {'R', 'D', 'B', 'S'};
 
 // --- header (de)serialization into a flat byte buffer ---------------------
 
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
-}
-
-void PutDouble(std::string* out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-/// Bounds-checked cursor over the header buffer; every Get* returns false
-/// past the end so a truncated header fails cleanly.
-struct Cursor {
-  const unsigned char* p;
-  size_t len;
-  size_t pos = 0;
-
-  bool GetU32(uint32_t* v) {
-    if (pos + 4 > len) return false;
-    *v = 0;
-    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p[pos + i]) << (8 * i);
-    pos += 4;
-    return true;
-  }
-  bool GetU64(uint64_t* v) {
-    if (pos + 8 > len) return false;
-    *v = 0;
-    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p[pos + i]) << (8 * i);
-    pos += 8;
-    return true;
-  }
-  bool GetDouble(double* v) {
-    uint64_t bits;
-    if (!GetU64(&bits)) return false;
-    std::memcpy(v, &bits, sizeof(*v));
-    return true;
-  }
-  bool GetString(std::string* s) {
-    uint32_t n;
-    if (!GetU32(&n)) return false;
-    if (pos + n > len) return false;
-    s->assign(reinterpret_cast<const char*>(p + pos), n);
-    pos += n;
-    return true;
-  }
-};
-
-std::string SerializeHeader(const SpillFileMeta& meta) {
+std::string SerializeHeader(const SpillFileMeta& meta, uint32_t version) {
   std::string h;
   PutString(&h, meta.canon_key);
   PutU32(&h, static_cast<uint32_t>(meta.column_names.size()));
@@ -84,14 +36,20 @@ std::string SerializeHeader(const SpillFileMeta& meta) {
   PutDouble(&h, meta.benefit);
   PutU32(&h, static_cast<uint32_t>(meta.base_tables.size()));
   for (const std::string& t : meta.base_tables) PutString(&h, t);
+  // v2 appends the uncompressed payload size; v1 headers end here (and a
+  // v1 reader never sees the field, so the prefix stays byte-compatible).
+  if (version >= 2) PutU64(&h, static_cast<uint64_t>(meta.raw_bytes));
   return h;
 }
 
-Status ParseHeader(const std::string& buf, SpillFileMeta* meta) {
+Status ParseHeader(const std::string& buf, uint32_t version,
+                   SpillFileMeta* meta) {
   Cursor c{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
   uint32_t ncols = 0, ntables = 0;
   uint64_t rows = 0;
   *meta = SpillFileMeta{};
+  meta->format_version = version;
+  meta->raw_bytes = 0;
   if (!c.GetString(&meta->canon_key) || !c.GetU32(&ncols)) {
     return Status::Internal("spill header truncated");
   }
@@ -121,7 +79,45 @@ Status ParseHeader(const std::string& buf, SpillFileMeta* meta) {
     }
     meta->base_tables.push_back(std::move(t));
   }
+  if (version >= 2) {
+    uint64_t raw = 0;
+    if (!c.GetU64(&raw)) {
+      return Status::Internal("spill header truncated (raw size)");
+    }
+    meta->raw_bytes = static_cast<int64_t>(raw);
+  }
   return Status::OK();
+}
+
+/// Size of the v1 raw column image for `table` (also the meaning of
+/// SpillFileMeta::raw_bytes).
+int64_t RawPayloadBytes(const Table& table) {
+  const int64_t rows = table.num_rows();
+  int64_t bytes = 0;
+  for (int ci = 0; ci < table.num_columns(); ++ci) {
+    const ColumnVector& col = *table.column(ci);
+    switch (col.type()) {
+      case TypeId::kBool:
+        bytes += rows;
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        bytes += rows * 4;
+        break;
+      case TypeId::kInt64:
+      case TypeId::kDouble:
+        bytes += rows * 8;
+        break;
+      case TypeId::kString: {
+        const std::string* data = col.Raw<std::string>();
+        for (int64_t r = 0; r < rows; ++r) {
+          bytes += 4 + static_cast<int64_t>(data[r].size());
+        }
+        break;
+      }
+    }
+  }
+  return bytes;
 }
 
 /// FILE* wrapper that streams every written byte through FNV-1a.
@@ -148,7 +144,9 @@ bool ReadChecked(std::FILE* f, void* data, size_t len, uint64_t* sum) {
   return true;
 }
 
-Status WriteColumns(ChecksummedWriter* w, const Table& table) {
+// --- v1 payload (raw column images) ---------------------------------------
+
+Status WriteColumnsV1(ChecksummedWriter* w, const Table& table) {
   const int64_t rows = table.num_rows();
   for (int ci = 0; ci < table.num_columns(); ++ci) {
     const ColumnVector& col = *table.column(ci);
@@ -187,8 +185,8 @@ Status WriteColumns(ChecksummedWriter* w, const Table& table) {
   return Status::OK();
 }
 
-Status ReadColumns(std::FILE* f, const SpillFileMeta& meta,
-                   int64_t payload_bytes, uint64_t* sum, TablePtr* out) {
+Status ReadColumnsV1(std::FILE* f, const SpillFileMeta& meta,
+                     int64_t payload_bytes, uint64_t* sum, TablePtr* out) {
   std::vector<Field> fields;
   for (size_t i = 0; i < meta.column_names.size(); ++i) {
     fields.push_back({meta.column_names[i], meta.column_types[i]});
@@ -285,6 +283,76 @@ Status ReadColumns(std::FILE* f, const SpillFileMeta& meta,
   return Status::OK();
 }
 
+// --- v2 payload (encoded column blocks) -----------------------------------
+
+Status WriteColumnsV2(ChecksummedWriter* w, const Table& table,
+                      bool compress) {
+  for (int ci = 0; ci < table.num_columns(); ++ci) {
+    const ColumnVector& col = *table.column(ci);
+    EncodedColumn enc;
+    if (compress) {
+      enc = EncodeColumn(col);
+    } else {
+      RDB_RETURN_NOT_OK(EncodeColumnAs(col, ColumnEncoding::kRaw, &enc));
+    }
+    std::string frame;
+    frame.push_back(static_cast<char>(enc.encoding));
+    PutU64(&frame, enc.payload.size());
+    if (!w->Write(frame.data(), frame.size()) ||
+        !w->Write(enc.payload.data(), enc.payload.size())) {
+      return Status::Internal("spill write failed");
+    }
+  }
+  return Status::OK();
+}
+
+/// Decodes the v2 payload out of an in-memory buffer. The caller has
+/// already verified the checksum over these bytes, so every decode
+/// failure here means a crafted file, not bit rot; all of them are still
+/// recoverable Statuses (the codecs bounds-check before allocating).
+Status ReadColumnsV2(const std::string& payload, const SpillFileMeta& meta,
+                     TablePtr* out) {
+  if (meta.num_rows < 0) {
+    return Status::Internal("spill header has negative row count");
+  }
+  std::vector<Field> fields;
+  for (size_t i = 0; i < meta.column_names.size(); ++i) {
+    fields.push_back({meta.column_names[i], meta.column_types[i]});
+  }
+  TablePtr table = MakeTable(Schema(std::move(fields)));
+  Cursor c{reinterpret_cast<const unsigned char*>(payload.data()),
+           payload.size()};
+  Batch batch;
+  batch.num_rows = meta.num_rows;
+  for (TypeId type : meta.column_types) {
+    uint8_t encoding = 0;
+    uint64_t len = 0;
+    if (!c.GetU8(&encoding) || !c.GetU64(&len) || len > c.remaining()) {
+      return Status::Internal("spill column block truncated");
+    }
+    if (encoding > static_cast<uint8_t>(ColumnEncoding::kFor)) {
+      return Status::Internal(
+          StrFormat("spill column has unknown encoding %d", (int)encoding));
+    }
+    EncodedColumn enc;
+    enc.encoding = static_cast<ColumnEncoding>(encoding);
+    enc.type = type;
+    enc.num_rows = meta.num_rows;
+    enc.payload.assign(reinterpret_cast<const char*>(c.p + c.pos),
+                       static_cast<size_t>(len));
+    c.pos += static_cast<size_t>(len);
+    ColumnPtr col;
+    RDB_RETURN_NOT_OK(DecodeColumn(enc, &col));
+    batch.columns.push_back(std::move(col));
+  }
+  if (c.remaining() != 0) {
+    return Status::Internal("spill payload has trailing bytes");
+  }
+  table->AppendBatch(batch);
+  *out = std::move(table);
+  return Status::OK();
+}
+
 /// Opens `path`, validates magic/version, reads the header. On success
 /// `*f_out` is positioned at the first payload byte and `*sum` holds the
 /// running checksum over the header bytes.
@@ -311,7 +379,7 @@ Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
   for (int i = 0; i < 4; ++i) version |= static_cast<uint32_t>(fixed[i]) << (8 * i);
   for (int i = 0; i < 8; ++i)
     header_len |= static_cast<uint64_t>(fixed[4 + i]) << (8 * i);
-  if (version != kSpillFormatVersion) {
+  if (version != kSpillFormatVersionV1 && version != kSpillFormatVersion) {
     std::fclose(f);
     return Status::Internal(StrFormat("%s: unsupported spill version %u",
                                       path.c_str(), version));
@@ -327,7 +395,7 @@ Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
     std::fclose(f);
     return Status::Internal(StrFormat("%s: spill header truncated", path.c_str()));
   }
-  Status st = ParseHeader(header, meta);
+  Status st = ParseHeader(header, version, meta);
   if (!st.ok()) {
     std::fclose(f);
     return Status::Internal(StrFormat("%s: %s", path.c_str(),
@@ -341,17 +409,26 @@ Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
 }  // namespace
 
 Status WriteSpillFile(const std::string& path, const Table& table,
-                      const SpillFileMeta& meta) {
+                      const SpillFileMeta& meta,
+                      const SpillWriteOptions& options) {
+  if (options.version != kSpillFormatVersionV1 &&
+      options.version != kSpillFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported spill write version %u", options.version));
+  }
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal(StrFormat("cannot create spill file %s",
                                       tmp.c_str()));
   }
-  std::string header = SerializeHeader(meta);
+  SpillFileMeta stamped = meta;
+  stamped.format_version = options.version;
+  stamped.raw_bytes = RawPayloadBytes(table);
+  std::string header = SerializeHeader(stamped, options.version);
   std::string prefix;
   prefix.append(kMagic, 4);
-  PutU32(&prefix, kSpillFormatVersion);
+  PutU32(&prefix, options.version);
   PutU64(&prefix, static_cast<uint64_t>(header.size()));
 
   // The prefix (magic/version/length) is outside the checksum; the
@@ -364,7 +441,10 @@ Status WriteSpillFile(const std::string& path, const Table& table,
   if (st.ok() && !w.Write(header.data(), header.size())) {
     st = Status::Internal("spill write failed");
   }
-  if (st.ok()) st = WriteColumns(&w, table);
+  if (st.ok()) {
+    st = options.version >= 2 ? WriteColumnsV2(&w, table, options.compress)
+                              : WriteColumnsV1(&w, table);
+  }
   if (st.ok()) {
     std::string sumbuf;
     PutU64(&sumbuf, w.sum());
@@ -406,18 +486,59 @@ Status ReadSpillTable(const std::string& path, SpillFileMeta* meta,
   payload_bytes = std::ftell(f) - payload_start - 8;
   std::fseek(f, payload_start, SEEK_SET);
   TablePtr table;
-  Status st = ReadColumns(f, *meta, payload_bytes, &sum, &table);
-  if (st.ok()) {
-    unsigned char sumbuf[8];
-    if (std::fread(sumbuf, 1, 8, f) != 8) {
-      st = Status::Internal(StrFormat("%s: spill checksum missing", path.c_str()));
-    } else {
-      uint64_t stored = 0;
-      for (int i = 0; i < 8; ++i)
-        stored |= static_cast<uint64_t>(sumbuf[i]) << (8 * i);
-      if (stored != sum) {
-        st = Status::Internal(StrFormat("%s: spill checksum mismatch",
+  Status st = Status::OK();
+  if (meta->format_version >= 2) {
+    // v2 verifies the checksum BEFORE decoding: the encoded payload is at
+    // most the file size (unlike its decoded form), so it is safe to buffer
+    // whole, and the decoders then never see bit rot.
+    if (payload_bytes < 0) {
+      st = Status::Internal(StrFormat("%s: spill file truncated", path.c_str()));
+    }
+    std::string payload;
+    if (st.ok()) {
+      payload.resize(static_cast<size_t>(payload_bytes));
+      if (payload_bytes > 0 &&
+          !ReadChecked(f, payload.data(), payload.size(), &sum)) {
+        st = Status::Internal(StrFormat("%s: spill payload truncated",
                                         path.c_str()));
+      }
+    }
+    if (st.ok()) {
+      unsigned char sumbuf[8];
+      if (std::fread(sumbuf, 1, 8, f) != 8) {
+        st = Status::Internal(StrFormat("%s: spill checksum missing",
+                                        path.c_str()));
+      } else {
+        uint64_t stored = 0;
+        for (int i = 0; i < 8; ++i)
+          stored |= static_cast<uint64_t>(sumbuf[i]) << (8 * i);
+        if (stored != sum) {
+          st = Status::Internal(StrFormat("%s: spill checksum mismatch",
+                                          path.c_str()));
+        }
+      }
+    }
+    if (st.ok()) {
+      st = ReadColumnsV2(payload, *meta, &table);
+      if (!st.ok()) {
+        st = Status::Internal(StrFormat("%s: %s", path.c_str(),
+                                        st.message().c_str()));
+      }
+    }
+  } else {
+    st = ReadColumnsV1(f, *meta, payload_bytes, &sum, &table);
+    if (st.ok()) {
+      unsigned char sumbuf[8];
+      if (std::fread(sumbuf, 1, 8, f) != 8) {
+        st = Status::Internal(StrFormat("%s: spill checksum missing", path.c_str()));
+      } else {
+        uint64_t stored = 0;
+        for (int i = 0; i < 8; ++i)
+          stored |= static_cast<uint64_t>(sumbuf[i]) << (8 * i);
+        if (stored != sum) {
+          st = Status::Internal(StrFormat("%s: spill checksum mismatch",
+                                          path.c_str()));
+        }
       }
     }
   }

@@ -12,6 +12,17 @@
 //
 //   "RDBS" magic | u32 version | u64 header_len | header | payload | u64 fnv
 //
+// Format v1 stores each column as its raw in-memory image. Format v2
+// stores each column as a self-describing encoded block
+//
+//   u8 encoding | u64 payload_len | payload
+//
+// using the codecs in storage/compression.h (raw / RLE / dictionary /
+// frame-of-reference, chosen per column by size), and appends the
+// uncompressed payload size to the header so the cold tier can report
+// compression ratios. Readers accept both versions; writers emit v2
+// unless asked otherwise.
+//
 // The checksum is FNV-1a over header + payload. Writers stream to
 // "<path>.tmp" and rename into place, so a final-named file is always
 // complete: a crash can lose the entry being written, never produce a
@@ -28,9 +39,12 @@
 
 namespace recycledb {
 
-/// Current spill format version; bump on any layout change (readers
-/// reject other versions with a recoverable Status).
-inline constexpr uint32_t kSpillFormatVersion = 1;
+/// Current spill format version; bump on any layout change. Readers
+/// accept kSpillFormatVersionV1 files too (pre-compression cold tiers
+/// survive an upgrade in place); anything else is rejected with a
+/// recoverable Status.
+inline constexpr uint32_t kSpillFormatVersionV1 = 1;
+inline constexpr uint32_t kSpillFormatVersion = 2;
 
 /// Everything the cold tier must know about a spilled result without
 /// touching its payload: the restart-stable identity plus the reference
@@ -53,13 +67,32 @@ struct SpillFileMeta {
   /// Base tables under the producing subtree (update invalidation must
   /// purge spilled entries too).
   std::vector<std::string> base_tables;
+  /// Format version the file was read with / will be written as (readers
+  /// overwrite this with the on-disk value).
+  uint32_t format_version = kSpillFormatVersion;
+  /// Uncompressed payload size in bytes (the v1 column image this file
+  /// would occupy without compression). Written by WriteSpillFile for v2
+  /// files; 0 when reading a v1 file.
+  int64_t raw_bytes = 0;
+};
+
+/// Writer knobs; defaults produce a compressed v2 file.
+struct SpillWriteOptions {
+  /// kSpillFormatVersion or kSpillFormatVersionV1 (the latter kept for
+  /// compatibility tests and downgrade escapes).
+  uint32_t version = kSpillFormatVersion;
+  /// v2 only: pick the smallest codec per column. When false every
+  /// column is stored kRaw (still framed as v2 blocks).
+  bool compress = true;
 };
 
 /// Writes `table` with `meta` to `path` via a "<path>.tmp" + rename
 /// protocol. On any error the final path is left untouched (a stale tmp
-/// file may remain; directory scans delete those).
+/// file may remain; directory scans delete those). `meta.raw_bytes` is
+/// computed by the writer; the caller's value is ignored.
 Status WriteSpillFile(const std::string& path, const Table& table,
-                      const SpillFileMeta& meta);
+                      const SpillFileMeta& meta,
+                      const SpillWriteOptions& options = {});
 
 /// Reads only the header of `path` (directory-scan fast path; the
 /// payload checksum is NOT verified here).

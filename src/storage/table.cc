@@ -38,8 +38,10 @@ std::string Schema::ToString() const {
 
 Table::Table(Schema schema) : schema_(std::move(schema)) {
   columns_.reserve(schema_.num_fields());
+  zone_maps_.reserve(schema_.num_fields());
   for (const auto& f : schema_.fields()) {
     columns_.push_back(MakeColumn(f.type));
+    zone_maps_.push_back(std::make_shared<ZoneMap>(f.type));
   }
 }
 
@@ -47,6 +49,7 @@ void Table::AppendBatch(const Batch& batch) {
   RDB_CHECK(static_cast<int>(batch.columns.size()) == num_columns());
   for (int i = 0; i < num_columns(); ++i) {
     columns_[i]->AppendAll(*batch.columns[i]);
+    zone_maps_[i]->Update(*columns_[i]);
   }
   num_rows_ += batch.num_rows;
 }
@@ -55,6 +58,7 @@ void Table::AppendRow(const std::vector<Datum>& row) {
   RDB_CHECK(static_cast<int>(row.size()) == num_columns());
   for (int i = 0; i < num_columns(); ++i) {
     columns_[i]->Append(row[i]);
+    zone_maps_[i]->Update(*columns_[i]);
   }
   ++num_rows_;
 }
@@ -90,6 +94,7 @@ TablePtr Table::RenameColumns(const std::vector<std::string>& names) const {
   }
   auto out = std::make_shared<Table>(Schema(std::move(fields)));
   out->columns_ = columns_;
+  out->zone_maps_ = zone_maps_;
   out->num_rows_ = num_rows_;
   return out;
 }
@@ -97,13 +102,16 @@ TablePtr Table::RenameColumns(const std::vector<std::string>& names) const {
 TablePtr Table::SelectColumns(const std::vector<std::string>& names) const {
   std::vector<Field> fields;
   std::vector<ColumnPtr> cols;
+  std::vector<ZoneMapPtr> zones;
   for (const auto& name : names) {
     int idx = schema_.IndexOfChecked(name);
     fields.push_back(schema_.field(idx));
     cols.push_back(columns_[idx]);
+    zones.push_back(zone_maps_[idx]);
   }
   auto out = std::make_shared<Table>(Schema(std::move(fields)));
   out->columns_ = std::move(cols);
+  out->zone_maps_ = std::move(zones);
   out->num_rows_ = num_rows_;
   return out;
 }

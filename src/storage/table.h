@@ -109,9 +109,15 @@ class Table {
   /// Builds a new table containing only `names`, in that order (zero copy).
   TablePtr SelectColumns(const std::vector<std::string>& names) const;
 
+  /// Zone map of column `i`, kept current by AppendBatch/AppendRow (per
+  /// kZoneMapBlockRows block min/max + sortedness). Shared zero-copy by
+  /// RenameColumns/SelectColumns along with the column data. Never null.
+  const ZoneMap& zone_map(int i) const { return *zone_maps_[i]; }
+
  private:
   Schema schema_;
   std::vector<ColumnPtr> columns_;
+  std::vector<ZoneMapPtr> zone_maps_;
   int64_t num_rows_ = 0;
 };
 

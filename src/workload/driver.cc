@@ -68,6 +68,18 @@ int64_t RunReport::TotalColdHits() const {
   return n;
 }
 
+int64_t RunReport::TotalBlocksScanned() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.blocks_scanned;
+  return n;
+}
+
+int64_t RunReport::TotalBlocksPruned() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.blocks_pruned;
+  return n;
+}
+
 double RunReport::ReuseRate() const {
   if (records.empty()) return 0;
   int64_t reusing = 0;
@@ -136,6 +148,8 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
     ss.cold_hits += r.trace.num_cold_hits;
     ss.materializations += r.trace.num_materialized;
     ss.stalls += r.trace.num_stalls;
+    ss.blocks_scanned += r.trace.blocks_scanned;
+    ss.blocks_pruned += r.trace.blocks_pruned;
   }
   for (size_t s = 0; s < streams.size(); ++s) {
     report.stream_stats[s].span_ms = report.stream_ms[s];
@@ -203,6 +217,12 @@ std::string FormatTrace(const RunReport& report) {
       events += StrFormat("stalled:%d(%.1fms) ", r.trace.num_stalls,
                           r.trace.stall_ms);
     }
+    if (r.trace.blocks_pruned > 0) {
+      events += StrFormat("pruned:%lld/%lld ",
+                          static_cast<long long>(r.trace.blocks_pruned),
+                          static_cast<long long>(r.trace.blocks_pruned +
+                                                 r.trace.blocks_scanned));
+    }
     if (r.trace.used_proactive) events += "proactive ";
     if (events.empty()) events = "-";
     out += StrFormat("%8.1f  S%-5d  %-11s  %7.1f  %s\n", r.start_ms,
@@ -231,6 +251,15 @@ std::string FormatSummary(const RunReport& report) {
       static_cast<long long>(report.TotalColdHits()),
       static_cast<long long>(report.TotalMaterializations()),
       static_cast<long long>(report.TotalStalls()));
+  const int64_t scanned = report.TotalBlocksScanned();
+  const int64_t pruned = report.TotalBlocksPruned();
+  out += StrFormat(
+      "blocks_scanned=%lld blocks_pruned=%lld prune_rate=%.1f%%\n",
+      static_cast<long long>(scanned), static_cast<long long>(pruned),
+      scanned + pruned == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(pruned) /
+                static_cast<double>(scanned + pruned));
   return out;
 }
 

@@ -57,6 +57,9 @@ struct StreamStats {
   int64_t cold_hits = 0;
   int64_t materializations = 0;
   int64_t stalls = 0;
+  /// Scan blocks read vs. skipped by zone-map pruning.
+  int64_t blocks_scanned = 0;
+  int64_t blocks_pruned = 0;
 };
 
 /// Result of a throughput run.
@@ -84,6 +87,9 @@ struct RunReport {
   int64_t TotalMaterializations() const;
   /// Reuses served by cold-tier re-admission across all streams.
   int64_t TotalColdHits() const;
+  /// Scan blocks read / skipped by zone-map pruning across all streams.
+  int64_t TotalBlocksScanned() const;
+  int64_t TotalBlocksPruned() const;
   /// Fraction of queries that consumed at least one cached result.
   double ReuseRate() const;
 };

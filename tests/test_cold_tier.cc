@@ -234,7 +234,13 @@ TEST(SpillFile, ImplausibleRowCountRejectedBeforeAllocation) {
   meta.column_types = {TypeId::kInt32, TypeId::kDouble};
   meta.num_rows = t->num_rows();
   const std::string path = dir.path() + "/rows.spill";
-  ASSERT_TRUE(WriteSpillFile(path, *t, meta).ok());
+  // v1 on purpose: the row-count plausibility bound is the v1 reader's
+  // only pre-allocation defense. The v2 reader verifies the checksum
+  // before decoding anything, so a patched header fails there instead
+  // (covered in test_speed_pack.cc).
+  SpillWriteOptions v1;
+  v1.version = kSpillFormatVersionV1;
+  ASSERT_TRUE(WriteSpillFile(path, *t, meta, v1).ok());
 
   // Patch the header's num_rows (offset: 16-byte prefix + "k" string
   // (5) + ncols (4) + two "a"/"v" column records (6 each)) to a value

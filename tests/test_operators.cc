@@ -232,8 +232,13 @@ TEST_F(OperatorTest, OperatorStatsCollected) {
   ASSERT_EQ(r.node_runtime.size(), 2u);
   const NodeRuntime& sel_rt = r.node_runtime.at(plan.get());
   EXPECT_EQ(sel_rt.rows_out, 10);
+  // k is appended in ascending order, so the zone maps prune every block
+  // past the first for `k < 10`: the scan reads exactly one 1024-row
+  // block of the five.
   const NodeRuntime& scan_rt = r.node_runtime.at(plan->child().get());
-  EXPECT_EQ(scan_rt.rows_out, 5000);
+  EXPECT_EQ(scan_rt.rows_out, 1024);
+  EXPECT_EQ(r.blocks_scanned, 1);
+  EXPECT_EQ(r.blocks_pruned, 4);
   // Inclusive timing: the parent's time includes the child's.
   EXPECT_GE(sel_rt.inclusive_ms, 0.0);
 }
