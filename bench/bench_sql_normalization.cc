@@ -1,0 +1,262 @@
+// SQL normalization bench: the canonicalizing rewrite pass is what makes
+// the text front-end recycler-friendly. Three query templates are each
+// spelled in 8 syntactic variants (reordered conjuncts, flipped
+// comparisons, constant arithmetic, NOT forms, BETWEEN, redundant and
+// tautological conjuncts). With canonicalization ON every variant after
+// the first must land on the seed's cache entry; with it OFF the noisy
+// spellings fingerprint differently and miss. Every result is checked
+// bit-identical against a recycler-bypass baseline on both arms.
+//
+// JSON (RECYCLEDB_JSON_OUT): one row per (arm, template) plus one summary
+// row per arm. Gates (exit 1 on failure):
+//   - ON  arm variant hit-rate >= 0.90
+//   - OFF arm variant hit-rate <= 0.10 (SELECT * lowers to the identical
+//     plan with or without canonicalization, so one exact hit is expected)
+//   - bit-identical rows vs the bypass baseline everywhere
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace recycledb;
+using namespace recycledb::bench;
+
+namespace {
+
+TablePtr MakeSales(int64_t rows) {
+  Schema s({{"city", TypeId::kString},
+            {"year", TypeId::kInt32},
+            {"sales", TypeId::kDouble}});
+  static const char* kCities[] = {"Edinburgh", "Amsterdam", "Brisbane"};
+  TablePtr t = MakeTable(s);
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    t->AppendRow({std::string(kCities[rng.Uniform(0, 2)]),
+                  static_cast<int32_t>(rng.Uniform(2005, 2012)),
+                  static_cast<double>(rng.Uniform(0, 5000))});
+  }
+  return t;
+}
+
+struct SqlTemplate {
+  const char* name;
+  bool ordered;  // compare rows in order (ORDER BY) vs as a multiset
+  std::vector<const char*> variants;  // [0] is the seed; the rest score
+};
+
+// Variants that must defeat the OFF arm hide constants behind folded
+// arithmetic: a non-literal operand produces no range spec, so both
+// exact matching and subsumption miss without the canonicalizer. Plain
+// flips/reorders alone would still be caught by range extraction — and
+// conjunct-subset subsumption serves any variant whose conjunct set is a
+// fingerprint-superset of an earlier entry's, so every conjunct of every
+// scored variant is disguised with a distinct arithmetic spelling.
+const SqlTemplate kTemplates[] = {
+    {"select_range", false,
+     {
+         "SELECT city, year, sales FROM sales"
+         " WHERE year >= 2008 AND sales < 2500.0",
+         "SELECT * FROM sales WHERE year >= 2008 AND sales < 2500.0",
+         "SELECT city, year, sales FROM sales"
+         " WHERE sales < 2499.0+1.0 AND year >= 2000+8",
+         "SELECT city, year, sales FROM sales"
+         " WHERE 2004+4 <= year AND sales < 2500.0+0.0",
+         "SELECT city, year, sales FROM sales"
+         " WHERE year >= 2008 AND year >= 2001+7 AND sales < 2502.0-2.0",
+         "SELECT city, year, sales FROM sales"
+         " WHERE NOT year < 2002+6 AND sales < 2500.0*1.0",
+         "SELECT city, year, sales FROM sales"
+         " WHERE year >= 2006+2 AND year >= 2006-0 AND sales < 2500.0/1.0",
+         "SELECT city, year, sales FROM sales"
+         " WHERE year >= 2003+5 AND sales < 5000.0-2500.0 AND TRUE",
+     }},
+    {"aggregate", true,
+     {
+         "SELECT city, SUM(sales) AS total FROM sales WHERE year >= 2010"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales WHERE 2000+10 <= year"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales"
+         " WHERE NOT year < 2005+5 GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales WHERE year >= 2020-10"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales"
+         " WHERE year >= 2010 AND year >= 2005+3"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales WHERE year >= 2*1005"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales WHERE year >= 4020/2"
+         " GROUP BY city ORDER BY total DESC",
+         "SELECT city, SUM(sales) AS total FROM sales"
+         " WHERE year >= 2000+10 AND TRUE GROUP BY city ORDER BY total DESC",
+     }},
+    {"topn_between", true,
+     {
+         "SELECT city, sales FROM sales"
+         " WHERE sales >= 1500.0 AND sales <= 3500.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE sales BETWEEN 1000.0+500.0 AND 3500.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE sales BETWEEN 1500.0 AND 7000.0/2.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE sales <= 3500.0 AND sales >= 3000.0/2.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE 750.0*2.0 <= sales AND sales <= 3500.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE NOT sales < 1000.0+500.0 AND sales <= 3500.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE sales >= 1500.0 AND sales >= 100.0+400.0"
+         " AND sales <= 3500.0 ORDER BY sales ASC, city ASC LIMIT 100",
+         "SELECT city, sales FROM sales"
+         " WHERE sales >= 1500.0+0.0 AND sales <= 3500.0"
+         " ORDER BY sales ASC, city ASC LIMIT 100",
+     }},
+};
+
+/// Exact row rendering (doubles at full precision — this bench asserts
+/// bit-identity, not approximate equality).
+std::vector<std::string> RowStrings(const Table& t, bool ordered) {
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<size_t>(t.num_rows()));
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      const Datum& d = t.Get(r, c);
+      if (d.index() == 4) {
+        key += StrFormat("%.17g", std::get<double>(d));
+      } else {
+        key += DatumToString(d);
+      }
+      key += "|";
+    }
+    rows.push_back(std::move(key));
+  }
+  if (!ordered) std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct ArmResult {
+  int64_t eligible = 0;  // scored variant executions (seeds excluded)
+  int64_t hits = 0;
+  int64_t mismatches = 0;
+  double HitRate() const {
+    return eligible == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(eligible);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int64_t rows = EnvInt("RECYCLEDB_BENCH_ROWS", 50000);
+  PrintHeader(StrFormat(
+      "SQL normalization: canonicalization on/off over %lld-row sales "
+      "(8 spellings per template)",
+      static_cast<long long>(rows)));
+
+  TablePtr sales = MakeSales(rows);
+  JsonResultSink sink;
+  ArmResult arms[2];
+
+  std::printf("%-5s %-14s %9s %6s %6s %10s\n", "arm", "template", "variants",
+              "hits", "rate", "rows");
+  for (int arm = 0; arm < 2; ++arm) {
+    const bool canonicalize = (arm == 0);
+    DatabaseOptions options;
+    options.recycler.mode = RecyclerMode::kSpeculation;
+    options.canonicalize_plans = canonicalize;
+    auto db = Database::OpenOrDie(options);
+    RDB_CHECK(db->CreateTable("sales", sales).ok());
+    SessionOptions bypass;
+    bypass.bypass_recycler = true;
+    auto baseline_session = db->Connect(bypass);
+
+    for (const SqlTemplate& tpl : kTemplates) {
+      // The ground truth, computed outside the recycler on this arm's
+      // engine.
+      Result truth = baseline_session->Sql(tpl.variants[0]);
+      RDB_CHECK_MSG(truth.ok(), truth.status().ToString().c_str());
+      std::vector<std::string> expected =
+          RowStrings(*truth.table(), tpl.ordered);
+
+      int64_t hits = 0, mismatches = 0;
+      for (size_t v = 0; v < tpl.variants.size(); ++v) {
+        Result r = db->Sql(tpl.variants[v]);
+        RDB_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+        if (RowStrings(*r.table(), tpl.ordered) != expected) {
+          std::fprintf(stderr, "result mismatch: arm=%s template=%s v=%zu\n",
+                       canonicalize ? "on" : "off", tpl.name, v);
+          ++mismatches;
+        }
+        if (v == 0) continue;  // the seed materializes; it cannot hit
+        if (r.recycled()) ++hits;
+      }
+      const int64_t eligible =
+          static_cast<int64_t>(tpl.variants.size()) - 1;
+      arms[arm].eligible += eligible;
+      arms[arm].hits += hits;
+      arms[arm].mismatches += mismatches;
+      std::printf("%-5s %-14s %9lld %6lld %5.0f%% %10lld\n",
+                  canonicalize ? "on" : "off", tpl.name,
+                  static_cast<long long>(eligible),
+                  static_cast<long long>(hits),
+                  eligible == 0 ? 0.0 : 100.0 * hits / eligible,
+                  static_cast<long long>(truth.num_rows()));
+      JsonObject row;
+      row.Set("bench", "sql_normalization")
+          .Set("arm", canonicalize ? "on" : "off")
+          .Set("template", tpl.name)
+          .Set("eligible", eligible)
+          .Set("hits", hits)
+          .Set("mismatches", mismatches)
+          .Set("rows", truth.num_rows());
+      sink.Add(row);
+    }
+    JsonObject summary;
+    summary.Set("bench", "sql_normalization")
+        .Set("arm", canonicalize ? "on" : "off")
+        .Set("template", "TOTAL")
+        .Set("eligible", arms[arm].eligible)
+        .Set("hits", arms[arm].hits)
+        .Set("mismatches", arms[arm].mismatches)
+        .Set("hit_rate", arms[arm].HitRate());
+    sink.Add(summary);
+  }
+
+  std::printf(
+      "\ncanonicalization on: %.1f%% variant hit-rate; off: %.1f%%\n",
+      100.0 * arms[0].HitRate(), 100.0 * arms[1].HitRate());
+
+  std::string json_path = sink.WriteEnvPath();
+  if (!json_path.empty()) {
+    std::printf("JSON results written to %s\n", json_path.c_str());
+  }
+
+  // Regression gates.
+  int rc = 0;
+  if (arms[0].HitRate() < 0.90) {
+    std::fprintf(stderr, "FAIL: on-arm hit-rate %.3f below 0.90\n",
+                 arms[0].HitRate());
+    rc = 1;
+  }
+  if (arms[1].HitRate() > 0.10) {
+    std::fprintf(stderr, "FAIL: off-arm hit-rate %.3f above 0.10\n",
+                 arms[1].HitRate());
+    rc = 1;
+  }
+  if (arms[0].mismatches + arms[1].mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %lld result mismatches vs bypass baseline\n",
+                 static_cast<long long>(arms[0].mismatches +
+                                        arms[1].mismatches));
+    rc = 1;
+  }
+  return rc;
+}

@@ -1,5 +1,6 @@
-// Quickstart: open an embedded Database, prepare a parameterized query
-// template, and watch rebinding the same template hit the recycler cache.
+// Quickstart: open an embedded Database, run SQL with the one-call API,
+// prepare a parameterized SQL template, and watch rebinding the same
+// template hit the recycler cache.
 //
 //   $ ./build/example_quickstart
 #include <cstdio>
@@ -37,25 +38,33 @@ int main() {
   }
   if (!db->CreateTable("sales", sales).ok()) return 1;
 
-  // 3. Build a query template with the fluent builder: total sales per
-  //    city since $since — the cutoff year is a named parameter.
-  Query query =
-      db->Scan("sales", {"city", "year", "sales"})
-          .Filter(Expr::Ge(Expr::Column("year"), Expr::Param("since")))
-          .Aggregate({"city"},
-                     {{AggFunc::kSum, Expr::Column("sales"), "total"},
-                      {AggFunc::kCount, Expr::Literal(int64_t{1}), "orders"}})
-          .OrderBy({{"total", false}});
-  std::printf("\n%s", query.Explain().c_str());
+  // 3. One call, text in, rows out. Parse/bind failures come back as a
+  //    Status with line/column and a caret snippet — never an abort.
+  Result peek = db->Sql(
+      "SELECT city, COUNT(*) AS n FROM sales WHERE year >= 2010 "
+      "GROUP BY city ORDER BY n DESC");
+  if (!peek.ok()) {
+    std::fprintf(stderr, "%s\n", peek.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", peek.ToString().c_str());
 
-  // 4. Prepare once, rebind per request. Repeating a binding is answered
-  //    from the recycler cache (the Result stats show the reuse).
+  // 4. Prepare a SQL template once, rebind per request: total sales per
+  //    city since :since — the cutoff year is a named parameter.
+  //    Repeating a binding is answered from the recycler cache (the
+  //    Result stats show the reuse). The canonicalizing rewrite pass
+  //    makes every equivalent spelling of this statement share the same
+  //    cache entries.
   auto session = db->Connect({});
-  auto stmt = session->Prepare(query, &st);
+  auto stmt = session->Prepare(
+      "SELECT city, SUM(sales) AS total, COUNT(*) AS orders FROM sales "
+      "WHERE year >= :since GROUP BY city ORDER BY total DESC",
+      &st);
   if (stmt == nullptr) {
     std::fprintf(stderr, "prepare failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  std::printf("%s", stmt->Explain().c_str());
   for (int64_t since : {2008, 2010, 2008, 2010}) {
     Result r = stmt->Bind("since", since).Execute();
     if (!r.ok()) {

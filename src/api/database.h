@@ -15,6 +15,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/query.h"
@@ -36,6 +37,12 @@ struct DatabaseOptions {
   int max_concurrent = 12;
   /// Worker threads serving async submissions.
   int async_threads = 2;
+  /// Run every session-executed plan (and every prepared-statement
+  /// template) through the canonicalizing rewrite pass, so syntactically
+  /// different but semantically equal queries share fingerprints — and
+  /// therefore recycler cache entries. Off: plans execute exactly as
+  /// built (ablation / A-B comparisons).
+  bool canonicalize_plans = true;
 };
 
 /// Validates recycler tunables, returning InvalidArgument for nonsense
@@ -90,6 +97,10 @@ class Database {
     return Query::FunctionScan(std::move(function), std::move(args));
   }
 
+  /// One-call SQL text execution on the built-in default session (see
+  /// Session::Sql for error semantics).
+  Result Sql(std::string_view sql) { return default_session_->Sql(sql); }
+
   /// One-shot execution on the built-in default session.
   Result Execute(const Query& query) { return default_session_->Execute(query); }
   /// One-shot raw-plan execution on the default session (generators).
@@ -100,6 +111,12 @@ class Database {
   std::unique_ptr<PreparedStatement> Prepare(const Query& query,
                                              Status* status = nullptr) {
     return default_session_->Prepare(query, status);
+  }
+  /// Default-session prepared statement from SQL text with `:name`
+  /// placeholders (see Session::Prepare(std::string_view, Status*)).
+  std::unique_ptr<PreparedStatement> Prepare(std::string_view sql,
+                                             Status* status = nullptr) {
+    return default_session_->Prepare(sql, status);
   }
 
   // ---- cache control ---------------------------------------------------

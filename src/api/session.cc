@@ -4,6 +4,10 @@
 
 #include "api/database.h"
 #include "api/validate.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "plan/canonicalize.h"
+#include "sql/lower.h"
 
 namespace recycledb {
 
@@ -15,6 +19,25 @@ Session::~Session() {
   // submission before the stats/mutex are destroyed.
   std::unique_lock<std::mutex> lock(mu_);
   inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+Result Session::Sql(std::string_view sql) {
+  PlanPtr plan;
+  Status st = sql::SqlToPlan(sql, db_->catalog(), &plan);
+  if (!st.ok()) {
+    Result r = Result::Error(std::move(st));
+    Record(r);
+    return r;
+  }
+  if (plan->HasParams()) {
+    Result r = Result::Error(Status::InvalidArgument(
+        "statement has :parameter placeholders; compile it with "
+        "Prepare(sql) and Bind() values:\n" +
+        plan->Explain()));
+    Record(r);
+    return r;
+  }
+  return RunPlan(plan);
 }
 
 Result Session::Execute(const Query& query) {
@@ -82,17 +105,46 @@ std::future<Result> Session::SubmitInternal(std::function<Result()> fn) {
 
 std::unique_ptr<PreparedStatement> Session::Prepare(const Query& query,
                                                     Status* status) {
-  auto fail = [status](Status st) -> std::unique_ptr<PreparedStatement> {
-    if (status != nullptr) *status = std::move(st);
-    return nullptr;
-  };
   if (query.plan() == nullptr) {
-    return fail(Status::InvalidArgument("empty query"));
+    if (status != nullptr) *status = Status::InvalidArgument("empty query");
+    return nullptr;
   }
   // The statement owns a private copy of the template: Prepare must not
   // mutate the caller's (possibly thread-shared) Query plan when it
   // pre-binds subtrees below.
-  PlanPtr tmpl = query.plan()->CloneDeep();
+  return PrepareTemplate(query.plan()->CloneDeep(), status);
+}
+
+std::unique_ptr<PreparedStatement> Session::Prepare(std::string_view sql,
+                                                    Status* status) {
+  PlanPtr tmpl;
+  Status st = sql::SqlToPlan(sql, db_->catalog(), &tmpl);
+  if (!st.ok()) {
+    if (status != nullptr) *status = std::move(st);
+    return nullptr;
+  }
+  return PrepareTemplate(std::move(tmpl), status);
+}
+
+std::unique_ptr<PreparedStatement> Session::PrepareTemplate(PlanPtr tmpl,
+                                                            Status* status) {
+  auto fail = [status](Status st) -> std::unique_ptr<PreparedStatement> {
+    if (status != nullptr) *status = std::move(st);
+    return nullptr;
+  };
+  // Canonicalize the template itself (parameters stay in place), so every
+  // syntactic variant of a template — SQL or builder — fingerprints to the
+  // same TemplateStats entry, and substituted instances start closer to
+  // their canonical form. The original is kept for Explain's
+  // pre-canonicalization view.
+  PlanPtr pre_canonical;
+  if (db_->options().canonicalize_plans) {
+    PlanPtr canon = CanonicalizePlan(tmpl);
+    if (canon != tmpl) {
+      pre_canonical = std::move(tmpl);
+      tmpl = std::move(canon);
+    }
+  }
   // Pre-validate and pre-bind every parameter-free subtree now, so each
   // Bind/Execute round only validates and clones the parameterized spine
   // (and structural template errors surface at Prepare, not first use).
@@ -109,8 +161,25 @@ std::unique_ptr<PreparedStatement> Session::Prepare(const Query& query,
   Status st = prebind(tmpl);
   if (!st.ok()) return fail(std::move(st));
   if (status != nullptr) *status = Status::OK();
-  return std::unique_ptr<PreparedStatement>(
-      new PreparedStatement(this, std::move(tmpl)));
+  return std::unique_ptr<PreparedStatement>(new PreparedStatement(
+      this, std::move(tmpl), std::move(pre_canonical)));
+}
+
+std::string Session::Explain(const Query& query) const {
+  if (query.plan() == nullptr) return "(empty query)\n";
+  const PlanPtr& plan = query.plan();
+  std::string out =
+      StrFormat("plan %016llx\n",
+                (unsigned long long)HashString(plan->TreeFingerprint())) +
+      plan->Explain();
+  if (db_->options().canonicalize_plans) {
+    PlanPtr canon = CanonicalizePlan(plan);
+    out += StrFormat("canonical %016llx\n",
+                     (unsigned long long)HashString(canon->TreeFingerprint()));
+    out += canon != plan ? canon->Explain()
+                         : std::string("  (already canonical)\n");
+  }
+  return out;
 }
 
 Result Session::RunPlan(const PlanPtr& plan) {
@@ -124,18 +193,35 @@ Result Session::RunPlan(const PlanPtr& plan) {
 }
 
 Result Session::RunValidatedPlan(const PlanPtr& plan) {
+  // Canonicalize on every execution path (recycler and bypass alike):
+  // syntactic variants of one query must hash to the same fingerprints
+  // before the recycler graph sees them. Unchanged subtrees are shared,
+  // so this costs a spine rebuild at most.
+  PlanPtr exec_plan = plan;
+  if (db_->options().canonicalize_plans) {
+    exec_plan = CanonicalizePlan(plan);
+    if (exec_plan != plan &&
+        exec_plan->template_hash() != plan->template_hash()) {
+      // A dropped root (identity Project, TRUE Select) surfaces a shared
+      // child as the new root; re-tag a private copy so the template
+      // attribution survives without mutating the shared node.
+      exec_plan = exec_plan->WithChildren(
+          std::vector<PlanPtr>(exec_plan->children()));
+      exec_plan->set_template_hash(plan->template_hash());
+    }
+  }
   Result result;
   if (options_.bypass_recycler) {
-    plan->Bind(db_->catalog());
+    exec_plan->Bind(db_->catalog());
     QueryTrace trace;
-    trace.template_hash = plan->template_hash();
-    ExecResult exec = db_->raw_executor().Run(plan);
+    trace.template_hash = exec_plan->template_hash();
+    ExecResult exec = db_->raw_executor().Run(exec_plan);
     trace.blocks_scanned = exec.blocks_scanned;
     trace.blocks_pruned = exec.blocks_pruned;
     result = Result::Of(std::move(exec), std::move(trace));
   } else {
     QueryTrace trace;
-    ExecResult exec = db_->recycler().Execute(plan, &trace);
+    ExecResult exec = db_->recycler().Execute(exec_plan, &trace);
     result = Result::Of(std::move(exec), std::move(trace));
   }
   Record(result);

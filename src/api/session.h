@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/query.h"
@@ -86,6 +87,14 @@ class Session {
   }
 
   // ---- execution -------------------------------------------------------
+  /// One-call SQL text execution: lexes, parses, lowers onto the plan IR,
+  /// canonicalizes (per DatabaseOptions::canonicalize_plans) and executes.
+  /// Every failure — syntax, unknown name, type error — comes back as a
+  /// Result carrying a Status with line/column and a caret snippet; the
+  /// engine never aborts on bad SQL. Statements with `:name` placeholders
+  /// are rejected here: compile those with Prepare(sql).
+  Result Sql(std::string_view sql);
+
   /// Validates and executes a parameter-free query.
   Result Execute(const Query& query);
   /// Executes a raw plan (workload generators).
@@ -105,6 +114,21 @@ class Session {
   std::unique_ptr<PreparedStatement> Prepare(const Query& query,
                                              Status* status = nullptr);
 
+  /// Compiles SQL text with `:name` placeholders into a prepared
+  /// statement (each `:p` becomes a template parameter bound later with
+  /// Bind("p", ...)). The template is canonicalized before its
+  /// fingerprint is taken, so syntactic variants of one query — and the
+  /// equivalent builder form — share one TemplateStats entry. Returns
+  /// nullptr on lex/parse/lowering errors with the caret-snippet reason
+  /// in `*status` (when non-null).
+  std::unique_ptr<PreparedStatement> Prepare(std::string_view sql,
+                                             Status* status = nullptr);
+
+  /// Pre- vs post-canonicalization view of a query: the plan as built
+  /// with its fingerprint hash, and (when canonicalization is enabled)
+  /// the canonical form the engine actually fingerprints and executes.
+  std::string Explain(const Query& query) const;
+
   // ---- observability ---------------------------------------------------
   /// Snapshot of this session's aggregate statistics.
   SessionStats stats() const;
@@ -121,6 +145,9 @@ class Session {
 
   Session(Database* db, SessionOptions options);
 
+  /// Shared Prepare tail: canonicalize + prebind an owned template.
+  std::unique_ptr<PreparedStatement> PrepareTemplate(PlanPtr tmpl,
+                                                     Status* status);
   /// Validates, binds and runs a plan, recording session stats/traces.
   Result RunPlan(const PlanPtr& plan);
   /// Same, for plans a PreparedStatement already validated.

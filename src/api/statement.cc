@@ -8,8 +8,11 @@
 
 namespace recycledb {
 
-PreparedStatement::PreparedStatement(Session* session, PlanPtr template_plan)
-    : session_(session), template_(std::move(template_plan)) {
+PreparedStatement::PreparedStatement(Session* session, PlanPtr template_plan,
+                                     PlanPtr pre_canonical)
+    : session_(session),
+      template_(std::move(template_plan)),
+      pre_canonical_(std::move(pre_canonical)) {
   template_->CollectParams(&params_);
   fingerprint_ = template_->TemplateFingerprint();
   hash_ = HashString(fingerprint_);
@@ -23,6 +26,12 @@ std::string PreparedStatement::Explain() const {
   std::string out =
       StrFormat("PreparedStatement %016llx\n", (unsigned long long)hash_);
   out += template_->Explain();
+  if (pre_canonical_ != nullptr) {
+    out += StrFormat(
+        "pre-canonicalization %016llx\n",
+        (unsigned long long)HashString(pre_canonical_->TemplateFingerprint()));
+    out += pre_canonical_->Explain();
+  }
   if (!params_.empty()) {
     out += "bindings:";
     for (const auto& p : params_) {

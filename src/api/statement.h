@@ -40,7 +40,10 @@ class PreparedStatement {
   /// Hash of template_fingerprint(); the recycler's TemplateStats key.
   uint64_t template_hash() const { return hash_; }
 
-  /// Template tree plus the current bindings; used in error messages.
+  /// Canonical template tree plus the current bindings; when the
+  /// canonicalizer rewrote the template at Prepare, also the
+  /// pre-canonicalization tree with its own fingerprint hash, so the
+  /// normalization is inspectable. Used in error messages.
   std::string Explain() const;
 
   // ---- binding ---------------------------------------------------------
@@ -72,10 +75,14 @@ class PreparedStatement {
 
  private:
   friend class Session;
-  PreparedStatement(Session* session, PlanPtr template_plan);
+  PreparedStatement(Session* session, PlanPtr template_plan,
+                    PlanPtr pre_canonical = nullptr);
 
   Session* session_;
   PlanPtr template_;
+  /// The template as handed to Prepare, kept for Explain only; nullptr
+  /// when canonicalization left it unchanged (or is disabled).
+  PlanPtr pre_canonical_;
   std::set<std::string> params_;
   std::string fingerprint_;
   uint64_t hash_ = 0;

@@ -562,6 +562,28 @@ PlanPtr PlanNode::WithChildren(std::vector<PlanPtr> new_children) const {
   return p;
 }
 
+PlanPtr PlanNode::WithPredicate(ExprPtr predicate) const {
+  RDB_CHECK_MSG(type_ == OpType::kSelect, "WithPredicate on non-select");
+  PlanPtr p = CloneShallow();
+  p->predicate_ = std::move(predicate);
+  return p;
+}
+
+PlanPtr PlanNode::WithProjections(std::vector<ProjItem> items) const {
+  RDB_CHECK_MSG(type_ == OpType::kProject, "WithProjections on non-project");
+  PlanPtr p = CloneShallow();
+  p->projections_ = std::move(items);
+  return p;
+}
+
+PlanPtr PlanNode::WithLimit(int64_t n) const {
+  RDB_CHECK_MSG(type_ == OpType::kLimit || type_ == OpType::kTopN,
+                "WithLimit on non-limit");
+  PlanPtr p = CloneShallow();
+  p->limit_ = n;
+  return p;
+}
+
 PlanPtr PlanNode::CloneParamsRenamed(const NameMap& mapping) const {
   PlanPtr p = CloneShallow();
   p->children_.clear();
@@ -680,6 +702,7 @@ std::string PlanNode::Explain(int indent) const {
       line = StrFormat("CachedScan rows=%lld [%s]",
                        cached_ != nullptr ? (long long)cached_->num_rows() : 0,
                        Join(columns_, ", ").c_str());
+      if (!cache_key_.empty()) line += StrFormat(" key=%s", cache_key_.c_str());
       break;
   }
   std::string out = std::string(indent * 2, ' ') + line + "\n";

@@ -116,6 +116,13 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
   int64_t limit() const { return limit_; }
   const TablePtr& cached_result() const { return cached_; }
 
+  /// Recycler-cache identity of a kCachedScan: the canonical subtree key
+  /// of the graph node whose result this scan reads (also the cold-tier
+  /// spill key). Display-only — excluded from fingerprints — and printed
+  /// by Explain so reuse decisions are attributable to cache entries.
+  const std::string& cache_key() const { return cache_key_; }
+  void set_cache_key(std::string key) { cache_key_ = std::move(key); }
+
   bool bound() const { return bound_; }
   const Schema& output_schema() const;
 
@@ -197,6 +204,16 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
   /// Shallow copy with `children` substituted (used by rewrites).
   PlanPtr WithChildren(std::vector<PlanPtr> new_children) const;
 
+  /// Shallow copy with a replacement predicate (kSelect; used by the
+  /// canonicalizer so rewrites keep the template hash of the original).
+  PlanPtr WithPredicate(ExprPtr predicate) const;
+
+  /// Shallow copy with replacement projection items (kProject).
+  PlanPtr WithProjections(std::vector<ProjItem> items) const;
+
+  /// Shallow copy with a replacement row limit (kLimit/kTopN).
+  PlanPtr WithLimit(int64_t n) const;
+
   /// Childless copy with every column reference in the parameters renamed
   /// through `mapping` (query space -> graph space). Stored inside
   /// recycler-graph nodes so subsumption/proactive logic can inspect
@@ -231,6 +248,7 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
   std::vector<SortKey> sort_keys_;
   int64_t limit_ = 0;
   TablePtr cached_;
+  std::string cache_key_;  // kCachedScan provenance (display-only)
 
   bool bound_ = false;
   Schema output_schema_;

@@ -5,6 +5,8 @@
 
 namespace recycledb {
 
-const char* RecycleDBVersion() { return "recycledb 0.3 (PR 3: public API)"; }
+const char* RecycleDBVersion() {
+  return "recycledb 0.4 (PR 7: SQL front-end + canonicalization)";
+}
 
 }  // namespace recycledb

@@ -684,6 +684,11 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
     if (snapshot != nullptr) {
       PlanPtr cs =
           PlanNode::CachedScan(snapshot, plan->output_schema().Names());
+      {
+        // The canonical subtree key walks graph structure (children).
+        std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+        cs->set_cache_key(CanonicalSubtreeKey(g));
+      }
       prepared->replaced_cost_[cs.get()] = g->bcost_ms.load();
       m->replaced = true;
       ++prepared->trace_.num_reuses;
@@ -755,6 +760,7 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
             bool have_edge = false;
             for (RGNode* s : subsumer->subsumes) have_edge |= (s == g);
             if (!have_edge) subsumer->subsumes.push_back(g);
+            derived.cached_scan->set_cache_key(CanonicalSubtreeKey(subsumer));
             prepared->replaced_cost_[derived.cached_scan.get()] =
                 subsumer->bcost_ms.load();
           }
@@ -842,6 +848,7 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
               RGNode* src = const_cast<RGNode*>(piece.source);
               graph_.FoldAging(src);
               AtomicAddClamped(src->h, piece.fraction, 0.0);
+              piece.cached_scan->set_cache_key(CanonicalSubtreeKey(src));
               // Eq. 2 bookkeeping: the slice replaced `fraction` of the
               // contributor's from-base-tables work.
               prepared->replaced_cost_[piece.cached_scan.get()] =
@@ -855,6 +862,7 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
               // exactly once (Eq. 2).
               graph_.FoldAging(child_gnode);
               AtomicAddClamped(child_gnode->h, 1.0, 0.0);
+              delta_child->set_cache_key(CanonicalSubtreeKey(child_gnode));
               prepared->replaced_cost_[delta_child.get()] =
                   child_gnode->bcost_ms.load();
               if (delta_child_from_cold) ++stitch_cold_hits;

@@ -1,0 +1,110 @@
+// SQL abstract syntax tree for the recycledb SQL subset.
+//
+// The parser produces this tree; sql/lower.cc resolves it against a
+// Catalog into the existing PlanNode IR. Every node keeps the line/column
+// of its introducing token so lowering can report name-resolution errors
+// with the same caret snippets as parse errors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace recycledb {
+namespace sql {
+
+/// Source position of an AST node (1-based line/column of its first
+/// token).
+struct Pos {
+  int line = 1;
+  int column = 1;
+};
+
+/// Scalar expression AST node kinds. Comparisons, BETWEEN and IN are
+/// normalized during lowering (BETWEEN becomes two range conjuncts).
+enum class AstExprKind : uint8_t {
+  kColumn,    // bare identifier
+  kLiteral,   // number / string / TRUE / FALSE / DATE 'YYYY-MM-DD'
+  kParam,     // :name placeholder
+  kCompare,   // = != < <= > >=
+  kAnd,       // conjunction (two children)
+  kOr,        // disjunction (two children)
+  kNot,       // negation (one child)
+  kArith,     // + - * /
+  kFuncCall,  // scalar function call: year(d), month(d), bin(v, w)
+  kBetween,   // child0 BETWEEN child1 AND child2 (negated for NOT BETWEEN)
+  kInList,    // child0 IN (literal, ...) (negated for NOT IN)
+  kLike,      // child0 LIKE 'pattern' (negated for NOT LIKE)
+  kCase,      // CASE WHEN child0 THEN child1 ELSE child2 END
+};
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// One scalar expression AST node.
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  Pos pos;
+  std::string name;             // column / param / function name, or the
+                                // comparison ("=", "<", ...) / arithmetic
+                                // ("+", "-", "*", "/") operator spelling,
+                                // or the LIKE pattern
+  Datum literal;                // kLiteral payload
+  bool negated = false;         // NOT BETWEEN / NOT IN / NOT LIKE
+  std::vector<Datum> in_list;   // kInList values
+  std::vector<AstExprPtr> children;
+};
+
+/// One SELECT-list item: an expression or an aggregate call, with an
+/// optional alias. `*` is represented by SelectStmt::select_star.
+struct SelectItem {
+  Pos pos;
+  /// Aggregate function name when this item is an aggregate call
+  /// (upper-cased: "SUM", "COUNT", "MIN", "MAX", "AVG"); empty for a
+  /// plain expression.
+  std::string agg_func;
+  /// True for COUNT(*).
+  bool count_star = false;
+  /// The item's expression, or the aggregate's argument (null for
+  /// COUNT(*)).
+  AstExprPtr expr;
+  /// AS alias (empty = derive a deterministic default name).
+  std::string alias;
+};
+
+/// One ORDER BY key.
+struct OrderItem {
+  Pos pos;
+  std::string column;
+  bool ascending = true;
+};
+
+/// FROM clause: a base table, or a table function with literal/param
+/// arguments.
+struct FromClause {
+  Pos pos;
+  std::string name;
+  bool is_function = false;
+  /// Function arguments: literals or :params (AstExprKind kLiteral /
+  /// kParam only; the parser rejects anything else).
+  std::vector<AstExprPtr> args;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  Pos pos;
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  FromClause from;
+  AstExprPtr where;  // null when absent
+  std::vector<std::string> group_by;
+  std::vector<Pos> group_by_pos;
+  std::vector<OrderItem> order_by;
+  bool has_limit = false;
+  int64_t limit = 0;
+};
+
+}  // namespace sql
+}  // namespace recycledb

@@ -1,0 +1,263 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace recycledb {
+namespace sql {
+
+namespace {
+
+// std::isalpha & co. require a non-negative argument; plain char may be
+// signed on this platform.
+inline unsigned char ToUnsigned(char c) { return static_cast<unsigned char>(c); }
+
+// Keywords of the supported subset. Anything else alphabetic is an
+// identifier. Upper-cased here; the lexer upper-cases candidate idents
+// before the lookup so keywords are case-insensitive.
+const char* const kKeywords[] = {
+    "SELECT", "FROM",  "WHERE",   "GROUP", "BY",   "ORDER", "LIMIT",
+    "AND",    "OR",    "NOT",     "AS",    "ASC",  "DESC",  "BETWEEN",
+    "IN",     "LIKE",  "TRUE",    "FALSE", "CASE", "WHEN",  "THEN",
+    "ELSE",   "END",   "DATE",    "SUM",   "COUNT", "MIN",  "MAX",
+    "AVG",    "NULL",
+};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(ToUnsigned(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string CaretSnippet(std::string_view sql, int line, int column,
+                         const std::string& what) {
+  std::string msg =
+      StrFormat("line %d, column %d: %s", line, column, what.c_str());
+  // Pull out source line `line` (1-based) for the caret rendering.
+  size_t start = 0;
+  for (int l = 1; l < line && start < sql.size(); ++l) {
+    size_t nl = sql.find('\n', start);
+    if (nl == std::string_view::npos) {
+      start = sql.size();
+      break;
+    }
+    start = nl + 1;
+  }
+  size_t end = sql.find('\n', start);
+  if (end == std::string_view::npos) end = sql.size();
+  std::string src(sql.substr(start, end - start));
+  // Tabs would misalign the caret; render them as single spaces.
+  for (char& c : src) {
+    if (c == '\t') c = ' ';
+  }
+  msg += "\n  " + src + "\n  ";
+  for (int i = 1; i < column; ++i) msg += ' ';
+  msg += '^';
+  return msg;
+}
+
+Status Lex(std::string_view sql, std::vector<Token>* out) {
+  out->clear();
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count; ++k) {
+      if (sql[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto fail = [&](const std::string& what) {
+    out->push_back({TokenKind::kEnd, "", line, col});
+    return Status::InvalidArgument(CaretSnippet(sql, line, col, what));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(ToUnsigned(c))) {
+      advance(1);
+      continue;
+    }
+    // -- comment to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') advance(1);
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    tok.column = col;
+    if (std::isalpha(ToUnsigned(c)) || c == '_') {
+      size_t j = i;
+      while (j < n &&
+             (std::isalnum(ToUnsigned(sql[j])) || sql[j] == '_')) {
+        ++j;
+      }
+      std::string word(sql.substr(i, j - i));
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = std::move(word);
+      }
+      out->push_back(std::move(tok));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(ToUnsigned(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(ToUnsigned(sql[i + 1])))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(ToUnsigned(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(ToUnsigned(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(ToUnsigned(sql[k]))) {
+          is_float = true;
+          j = k;
+          while (j < n && std::isdigit(ToUnsigned(sql[j]))) ++j;
+        }
+      }
+      if (j < n &&
+          (std::isalpha(ToUnsigned(sql[j])) || sql[j] == '_')) {
+        return fail("malformed number");
+      }
+      tok.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
+      tok.text = std::string(sql.substr(i, j - i));
+      out->push_back(std::move(tok));
+      advance(j - i);
+      continue;
+    }
+    if (c == '\'') {
+      // String literal; '' escapes a quote.
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += sql[j];
+        ++j;
+      }
+      if (!closed) return fail("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      out->push_back(std::move(tok));
+      advance(j - i);
+      continue;
+    }
+    if (c == ':') {
+      size_t j = i + 1;
+      if (j >= n || (!std::isalpha(ToUnsigned(sql[j])) && sql[j] != '_')) {
+        return fail("expected parameter name after ':'");
+      }
+      while (j < n &&
+             (std::isalnum(ToUnsigned(sql[j])) || sql[j] == '_')) {
+        ++j;
+      }
+      tok.kind = TokenKind::kParam;
+      tok.text = std::string(sql.substr(i + 1, j - i - 1));
+      out->push_back(std::move(tok));
+      advance(j - i);
+      continue;
+    }
+    // Multi-character operators first.
+    auto symbol = [&](const char* sym, size_t len) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = sym;
+      out->push_back(std::move(tok));
+      advance(len);
+    };
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("<=", 2);
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      symbol(">=", 2);
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      symbol("!=", 2);  // normalize <> to !=
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("!=", 2);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        symbol("(", 1);
+        continue;
+      case ')':
+        symbol(")", 1);
+        continue;
+      case ',':
+        symbol(",", 1);
+        continue;
+      case '*':
+        symbol("*", 1);
+        continue;
+      case '+':
+        symbol("+", 1);
+        continue;
+      case '-':
+        symbol("-", 1);
+        continue;
+      case '/':
+        symbol("/", 1);
+        continue;
+      case '=':
+        symbol("=", 1);
+        continue;
+      case '<':
+        symbol("<", 1);
+        continue;
+      case '>':
+        symbol(">", 1);
+        continue;
+      case ';':
+        // A single trailing semicolon is tolerated (and ignored) by the
+        // parser; emit it as a symbol so mid-statement ';' still errors.
+        symbol(";", 1);
+        continue;
+      default:
+        break;
+    }
+    return fail(StrFormat("unexpected character '%c'", c));
+  }
+  out->push_back({TokenKind::kEnd, "", line, col});
+  return Status::OK();
+}
+
+}  // namespace sql
+}  // namespace recycledb

@@ -1,0 +1,53 @@
+// SQL lexer: hand-written tokenizer for the recycledb SQL subset.
+//
+// Produces a flat token stream with line/column positions so the parser
+// can report recoverable errors with a caret snippet (the api/validate
+// contract: malformed text yields Status, never an abort). Keywords are
+// case-insensitive; identifiers keep their original spelling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace recycledb {
+namespace sql {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind : uint8_t {
+  kIdent,    // bare identifier (column / table / function name)
+  kKeyword,  // recognized SQL keyword, upper-cased in `text`
+  kInt,      // integer literal
+  kFloat,    // floating-point literal
+  kString,   // 'quoted' string literal (text holds the unquoted value)
+  kParam,    // :name placeholder (text holds the name without ':')
+  kSymbol,   // operator / punctuation: ( ) , * + - / = != <> < <= > >= .
+  kEnd,      // end of input
+};
+
+/// One lexed token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // keyword (upper-cased) / identifier / literal text
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `sql`. On failure (unterminated string, stray character)
+/// returns InvalidArgument with a line/column caret snippet; `*out` then
+/// holds the tokens lexed so far. The token list always ends with kEnd.
+Status Lex(std::string_view sql, std::vector<Token>* out);
+
+/// Formats "line L, column C" plus the offending source line and a caret
+/// under `column` — shared by lexer and parser diagnostics:
+///
+///   line 1, column 23: unexpected token ','
+///     SELECT city FROM sales, shops
+///                           ^
+std::string CaretSnippet(std::string_view sql, int line, int column,
+                         const std::string& what);
+
+}  // namespace sql
+}  // namespace recycledb

@@ -1,0 +1,605 @@
+#include "sql/parser.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace recycledb {
+namespace sql {
+
+namespace {
+
+/// Non-aborting "YYYY-MM-DD" validation + conversion (ParseDate in
+/// common/types.h RDB_CHECK-aborts on bad input, which the text
+/// front-end must never do).
+bool ParseDateLiteral(const std::string& s, int32_t* out) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  int y = std::atoi(s.substr(0, 4).c_str());
+  int m = std::atoi(s.substr(5, 2).c_str());
+  int d = std::atoi(s.substr(8, 2).c_str());
+  if (y < 1 || y > 9999 || m < 1 || m > 12 || d < 1) return false;
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int days = kDays[m - 1];
+  bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  if (m == 2 && leap) days = 29;
+  if (d > days) return false;
+  *out = MakeDate(y, m, d);
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view sql, std::vector<Token> toks)
+      : sql_(sql), toks_(std::move(toks)) {}
+
+  Status ParseStatement(SelectStmt* out);
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool AtKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kKeyword && t.text == kw;
+  }
+  bool AtSymbol(const char* sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kSymbol && t.text == sym;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!AtKeyword(kw)) return false;
+    Next();
+    return true;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    Next();
+    return true;
+  }
+  Status Error(const Token& tok, const std::string& what) const {
+    return Status::InvalidArgument(
+        CaretSnippet(sql_, tok.line, tok.column, what));
+  }
+  std::string Describe(const Token& tok) const {
+    switch (tok.kind) {
+      case TokenKind::kEnd:
+        return "end of input";
+      case TokenKind::kString:
+        return "'" + tok.text + "'";
+      case TokenKind::kParam:
+        return ":" + tok.text;
+      default:
+        return "'" + tok.text + "'";
+    }
+  }
+  Status Unexpected(const std::string& wanted) const {
+    return Error(Peek(),
+                 "expected " + wanted + ", found " + Describe(Peek()));
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Unexpected(kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Unexpected(std::string("'") + sym + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectIdent(std::string* out, Pos* pos = nullptr) {
+    if (Peek().kind != TokenKind::kIdent) return Unexpected("identifier");
+    const Token& t = Next();
+    *out = t.text;
+    if (pos != nullptr) *pos = {t.line, t.column};
+    return Status::OK();
+  }
+
+  static AstExprPtr MakeNode(AstExprKind kind, const Token& at) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = kind;
+    e->pos = {at.line, at.column};
+    return e;
+  }
+
+  Status ParseSelectList(SelectStmt* out);
+  Status ParseSelectItem(SelectItem* out);
+  Status ParseFrom(FromClause* out);
+  Status ParseScalar(AstExprPtr* out);
+  Status ParseIntLiteral(int64_t* out);
+
+  Status ParseExpr(AstExprPtr* out) { return ParseOr(out); }
+  Status ParseOr(AstExprPtr* out);
+  Status ParseAnd(AstExprPtr* out);
+  Status ParseNot(AstExprPtr* out);
+  Status ParsePredicate(AstExprPtr* out);
+  Status ParseAdditive(AstExprPtr* out);
+  Status ParseMultiplicative(AstExprPtr* out);
+  Status ParseUnary(AstExprPtr* out);
+  Status ParsePrimary(AstExprPtr* out);
+  Status ParseLiteralDatum(Datum* out, Pos* pos);
+
+  std::string_view sql_;
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Status Parser::ParseStatement(SelectStmt* out) {
+  *out = SelectStmt{};
+  out->pos = {Peek().line, Peek().column};
+  RDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  RDB_RETURN_NOT_OK(ParseSelectList(out));
+  RDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  RDB_RETURN_NOT_OK(ParseFrom(&out->from));
+  if (AcceptKeyword("WHERE")) {
+    RDB_RETURN_NOT_OK(ParseExpr(&out->where));
+  }
+  if (AtKeyword("GROUP")) {
+    Next();
+    RDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      std::string col;
+      Pos pos;
+      RDB_RETURN_NOT_OK(ExpectIdent(&col, &pos));
+      out->group_by.push_back(std::move(col));
+      out->group_by_pos.push_back(pos);
+    } while (AcceptSymbol(","));
+  }
+  if (AtKeyword("ORDER")) {
+    Next();
+    RDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      RDB_RETURN_NOT_OK(ExpectIdent(&item.column, &item.pos));
+      if (AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      out->order_by.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    RDB_RETURN_NOT_OK(ParseIntLiteral(&out->limit));
+    if (out->limit < 0) {
+      return Error(Peek(), "LIMIT requires a non-negative integer");
+    }
+    out->has_limit = true;
+  }
+  AcceptSymbol(";");
+  if (Peek().kind != TokenKind::kEnd) {
+    return Unexpected("end of statement");
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseSelectList(SelectStmt* out) {
+  if (AtSymbol("*")) {
+    Next();
+    out->select_star = true;
+    return Status::OK();
+  }
+  do {
+    SelectItem item;
+    RDB_RETURN_NOT_OK(ParseSelectItem(&item));
+    out->items.push_back(std::move(item));
+  } while (AcceptSymbol(","));
+  return Status::OK();
+}
+
+Status Parser::ParseSelectItem(SelectItem* out) {
+  const Token& first = Peek();
+  out->pos = {first.line, first.column};
+  static const char* const kAggs[] = {"SUM", "COUNT", "MIN", "MAX", "AVG"};
+  bool is_agg = false;
+  if (first.kind == TokenKind::kKeyword && AtSymbol("(", 1)) {
+    for (const char* a : kAggs) is_agg = is_agg || first.text == a;
+  }
+  if (is_agg) {
+    out->agg_func = Next().text;  // the aggregate keyword
+    Next();                       // '('
+    if (out->agg_func == "COUNT" && AtSymbol("*")) {
+      Next();
+      out->count_star = true;
+    } else {
+      RDB_RETURN_NOT_OK(ParseExpr(&out->expr));
+    }
+    RDB_RETURN_NOT_OK(ExpectSymbol(")"));
+  } else {
+    RDB_RETURN_NOT_OK(ParseExpr(&out->expr));
+  }
+  if (AcceptKeyword("AS")) {
+    RDB_RETURN_NOT_OK(ExpectIdent(&out->alias));
+  } else if (Peek().kind == TokenKind::kIdent) {
+    // Bare alias: SELECT city c FROM ...
+    out->alias = Next().text;
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseFrom(FromClause* out) {
+  RDB_RETURN_NOT_OK(ExpectIdent(&out->name, &out->pos));
+  if (!AcceptSymbol("(")) return Status::OK();
+  out->is_function = true;
+  if (AcceptSymbol(")")) return Status::OK();
+  do {
+    AstExprPtr arg;
+    RDB_RETURN_NOT_OK(ParseScalar(&arg));
+    out->args.push_back(std::move(arg));
+  } while (AcceptSymbol(","));
+  return ExpectSymbol(")");
+}
+
+Status Parser::ParseScalar(AstExprPtr* out) {
+  if (Peek().kind == TokenKind::kParam) {
+    const Token& t = Next();
+    *out = MakeNode(AstExprKind::kParam, t);
+    (*out)->name = t.text;
+    return Status::OK();
+  }
+  Datum value;
+  Pos pos;
+  RDB_RETURN_NOT_OK(ParseLiteralDatum(&value, &pos));
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kLiteral;
+  e->pos = pos;
+  e->literal = std::move(value);
+  *out = std::move(e);
+  return Status::OK();
+}
+
+Status Parser::ParseIntLiteral(int64_t* out) {
+  bool negative = AcceptSymbol("-");
+  if (Peek().kind != TokenKind::kInt) return Unexpected("integer");
+  const Token& t = Next();
+  errno = 0;
+  long long v = std::strtoll(t.text.c_str(), nullptr, 10);
+  if (errno == ERANGE) return Error(t, "integer literal out of range");
+  *out = negative ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+/// Parses a literal token sequence into a Datum: numbers (int32 when the
+/// value fits, else int64), floats, strings, TRUE/FALSE, and
+/// DATE 'YYYY-MM-DD' (days-since-epoch int32, matching column storage).
+Status Parser::ParseLiteralDatum(Datum* out, Pos* pos) {
+  const Token& t = Peek();
+  *pos = {t.line, t.column};
+  bool negative = false;
+  if (AtSymbol("-") &&
+      (Peek(1).kind == TokenKind::kInt || Peek(1).kind == TokenKind::kFloat)) {
+    negative = true;
+    Next();
+  }
+  const Token& lit = Peek();
+  switch (lit.kind) {
+    case TokenKind::kInt: {
+      Next();
+      errno = 0;
+      long long v = std::strtoll(lit.text.c_str(), nullptr, 10);
+      if (errno == ERANGE) return Error(lit, "integer literal out of range");
+      int64_t value = negative ? -static_cast<int64_t>(v)
+                               : static_cast<int64_t>(v);
+      if (value >= INT32_MIN && value <= INT32_MAX) {
+        *out = static_cast<int32_t>(value);
+      } else {
+        *out = value;
+      }
+      return Status::OK();
+    }
+    case TokenKind::kFloat: {
+      Next();
+      double v = std::strtod(lit.text.c_str(), nullptr);
+      *out = negative ? -v : v;
+      return Status::OK();
+    }
+    case TokenKind::kString:
+      Next();
+      *out = lit.text;
+      return Status::OK();
+    case TokenKind::kKeyword:
+      if (lit.text == "TRUE" || lit.text == "FALSE") {
+        Next();
+        *out = (lit.text == "TRUE");
+        return Status::OK();
+      }
+      if (lit.text == "DATE") {
+        Next();
+        if (Peek().kind != TokenKind::kString) {
+          return Unexpected("date string after DATE");
+        }
+        const Token& ds = Next();
+        int32_t days = 0;
+        if (!ParseDateLiteral(ds.text, &days)) {
+          return Error(ds, "malformed date (expected 'YYYY-MM-DD')");
+        }
+        *out = days;
+        return Status::OK();
+      }
+      break;
+    default:
+      break;
+  }
+  return Unexpected("literal");
+}
+
+Status Parser::ParseOr(AstExprPtr* out) {
+  RDB_RETURN_NOT_OK(ParseAnd(out));
+  while (AtKeyword("OR")) {
+    const Token& op = Next();
+    AstExprPtr rhs;
+    RDB_RETURN_NOT_OK(ParseAnd(&rhs));
+    AstExprPtr node = MakeNode(AstExprKind::kOr, op);
+    node->children.push_back(std::move(*out));
+    node->children.push_back(std::move(rhs));
+    *out = std::move(node);
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseAnd(AstExprPtr* out) {
+  RDB_RETURN_NOT_OK(ParseNot(out));
+  while (AtKeyword("AND")) {
+    const Token& op = Next();
+    AstExprPtr rhs;
+    RDB_RETURN_NOT_OK(ParseNot(&rhs));
+    AstExprPtr node = MakeNode(AstExprKind::kAnd, op);
+    node->children.push_back(std::move(*out));
+    node->children.push_back(std::move(rhs));
+    *out = std::move(node);
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseNot(AstExprPtr* out) {
+  if (AtKeyword("NOT")) {
+    const Token& op = Next();
+    AstExprPtr inner;
+    RDB_RETURN_NOT_OK(ParseNot(&inner));
+    AstExprPtr node = MakeNode(AstExprKind::kNot, op);
+    node->children.push_back(std::move(inner));
+    *out = std::move(node);
+    return Status::OK();
+  }
+  return ParsePredicate(out);
+}
+
+Status Parser::ParsePredicate(AstExprPtr* out) {
+  RDB_RETURN_NOT_OK(ParseAdditive(out));
+  bool negated = false;
+  if (AtKeyword("NOT") &&
+      (AtKeyword("BETWEEN", 1) || AtKeyword("IN", 1) || AtKeyword("LIKE", 1))) {
+    negated = true;
+    Next();
+  }
+  if (AtKeyword("BETWEEN")) {
+    const Token& op = Next();
+    AstExprPtr lo, hi;
+    RDB_RETURN_NOT_OK(ParseAdditive(&lo));
+    RDB_RETURN_NOT_OK(ExpectKeyword("AND"));
+    RDB_RETURN_NOT_OK(ParseAdditive(&hi));
+    AstExprPtr node = MakeNode(AstExprKind::kBetween, op);
+    node->negated = negated;
+    node->children.push_back(std::move(*out));
+    node->children.push_back(std::move(lo));
+    node->children.push_back(std::move(hi));
+    *out = std::move(node);
+    return Status::OK();
+  }
+  if (AtKeyword("IN")) {
+    const Token& op = Next();
+    RDB_RETURN_NOT_OK(ExpectSymbol("("));
+    AstExprPtr node = MakeNode(AstExprKind::kInList, op);
+    node->negated = negated;
+    node->children.push_back(std::move(*out));
+    do {
+      Datum v;
+      Pos pos;
+      RDB_RETURN_NOT_OK(ParseLiteralDatum(&v, &pos));
+      node->in_list.push_back(std::move(v));
+    } while (AcceptSymbol(","));
+    RDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    *out = std::move(node);
+    return Status::OK();
+  }
+  if (AtKeyword("LIKE")) {
+    const Token& op = Next();
+    if (Peek().kind != TokenKind::kString) {
+      return Unexpected("pattern string after LIKE");
+    }
+    const Token& pat = Next();
+    AstExprPtr node = MakeNode(AstExprKind::kLike, op);
+    node->negated = negated;
+    node->name = pat.text;
+    node->children.push_back(std::move(*out));
+    *out = std::move(node);
+    return Status::OK();
+  }
+  if (negated) return Unexpected("BETWEEN, IN or LIKE after NOT");
+  static const char* const kCmps[] = {"=", "!=", "<", "<=", ">", ">="};
+  for (const char* cmp : kCmps) {
+    if (AtSymbol(cmp)) {
+      const Token& op = Next();
+      AstExprPtr rhs;
+      RDB_RETURN_NOT_OK(ParseAdditive(&rhs));
+      AstExprPtr node = MakeNode(AstExprKind::kCompare, op);
+      node->name = cmp;
+      node->children.push_back(std::move(*out));
+      node->children.push_back(std::move(rhs));
+      *out = std::move(node);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseAdditive(AstExprPtr* out) {
+  RDB_RETURN_NOT_OK(ParseMultiplicative(out));
+  while (AtSymbol("+") || AtSymbol("-")) {
+    const Token& op = Next();
+    AstExprPtr rhs;
+    RDB_RETURN_NOT_OK(ParseMultiplicative(&rhs));
+    AstExprPtr node = MakeNode(AstExprKind::kArith, op);
+    node->name = op.text;
+    node->children.push_back(std::move(*out));
+    node->children.push_back(std::move(rhs));
+    *out = std::move(node);
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseMultiplicative(AstExprPtr* out) {
+  RDB_RETURN_NOT_OK(ParseUnary(out));
+  while (AtSymbol("*") || AtSymbol("/")) {
+    const Token& op = Next();
+    AstExprPtr rhs;
+    RDB_RETURN_NOT_OK(ParseUnary(&rhs));
+    AstExprPtr node = MakeNode(AstExprKind::kArith, op);
+    node->name = op.text;
+    node->children.push_back(std::move(*out));
+    node->children.push_back(std::move(rhs));
+    *out = std::move(node);
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseUnary(AstExprPtr* out) {
+  if (AtSymbol("-")) {
+    // Fold the sign into a numeric literal; otherwise emit 0 - expr.
+    if (Peek(1).kind == TokenKind::kInt || Peek(1).kind == TokenKind::kFloat) {
+      Datum v;
+      Pos pos;
+      RDB_RETURN_NOT_OK(ParseLiteralDatum(&v, &pos));
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kLiteral;
+      e->pos = pos;
+      e->literal = std::move(v);
+      *out = std::move(e);
+      return Status::OK();
+    }
+    const Token& op = Next();
+    AstExprPtr inner;
+    RDB_RETURN_NOT_OK(ParseUnary(&inner));
+    AstExprPtr zero = MakeNode(AstExprKind::kLiteral, op);
+    zero->literal = static_cast<int32_t>(0);
+    AstExprPtr node = MakeNode(AstExprKind::kArith, op);
+    node->name = "-";
+    node->children.push_back(std::move(zero));
+    node->children.push_back(std::move(inner));
+    *out = std::move(node);
+    return Status::OK();
+  }
+  return ParsePrimary(out);
+}
+
+Status Parser::ParsePrimary(AstExprPtr* out) {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInt:
+    case TokenKind::kFloat:
+    case TokenKind::kString: {
+      Datum v;
+      Pos pos;
+      RDB_RETURN_NOT_OK(ParseLiteralDatum(&v, &pos));
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExprKind::kLiteral;
+      e->pos = pos;
+      e->literal = std::move(v);
+      *out = std::move(e);
+      return Status::OK();
+    }
+    case TokenKind::kParam: {
+      Next();
+      *out = MakeNode(AstExprKind::kParam, t);
+      (*out)->name = t.text;
+      return Status::OK();
+    }
+    case TokenKind::kIdent: {
+      Next();
+      if (AcceptSymbol("(")) {
+        // Scalar function call: year(d), month(d), bin(v, w).
+        AstExprPtr node = MakeNode(AstExprKind::kFuncCall, t);
+        node->name = t.text;
+        if (!AcceptSymbol(")")) {
+          do {
+            AstExprPtr arg;
+            RDB_RETURN_NOT_OK(ParseExpr(&arg));
+            node->children.push_back(std::move(arg));
+          } while (AcceptSymbol(","));
+          RDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+        *out = std::move(node);
+        return Status::OK();
+      }
+      *out = MakeNode(AstExprKind::kColumn, t);
+      (*out)->name = t.text;
+      return Status::OK();
+    }
+    case TokenKind::kKeyword: {
+      if (t.text == "TRUE" || t.text == "FALSE" || t.text == "DATE") {
+        Datum v;
+        Pos pos;
+        RDB_RETURN_NOT_OK(ParseLiteralDatum(&v, &pos));
+        auto e = std::make_unique<AstExpr>();
+        e->kind = AstExprKind::kLiteral;
+        e->pos = pos;
+        e->literal = std::move(v);
+        *out = std::move(e);
+        return Status::OK();
+      }
+      if (t.text == "CASE") {
+        Next();
+        RDB_RETURN_NOT_OK(ExpectKeyword("WHEN"));
+        AstExprPtr cond, then_e, else_e;
+        RDB_RETURN_NOT_OK(ParseExpr(&cond));
+        RDB_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        RDB_RETURN_NOT_OK(ParseExpr(&then_e));
+        RDB_RETURN_NOT_OK(ExpectKeyword("ELSE"));
+        RDB_RETURN_NOT_OK(ParseExpr(&else_e));
+        RDB_RETURN_NOT_OK(ExpectKeyword("END"));
+        AstExprPtr node = MakeNode(AstExprKind::kCase, t);
+        node->children.push_back(std::move(cond));
+        node->children.push_back(std::move(then_e));
+        node->children.push_back(std::move(else_e));
+        *out = std::move(node);
+        return Status::OK();
+      }
+      if (t.text == "NULL") {
+        return Error(t, "NULL literals are not supported (NULL-free engine)");
+      }
+      break;
+    }
+    case TokenKind::kSymbol:
+      if (t.text == "(") {
+        Next();
+        RDB_RETURN_NOT_OK(ParseExpr(out));
+        return ExpectSymbol(")");
+      }
+      break;
+    case TokenKind::kEnd:
+      break;
+  }
+  return Unexpected("expression");
+}
+
+}  // namespace
+
+Status Parse(std::string_view sql, SelectStmt* out) {
+  std::vector<Token> toks;
+  RDB_RETURN_NOT_OK(Lex(sql, &toks));
+  Parser parser(sql, std::move(toks));
+  return parser.ParseStatement(out);
+}
+
+}  // namespace sql
+}  // namespace recycledb

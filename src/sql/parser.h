@@ -1,0 +1,33 @@
+// Recursive-descent parser for the recycledb SQL subset.
+//
+// Grammar (documented in DESIGN.md "SQL front-end & normalization"):
+//
+//   select_stmt := SELECT select_list FROM from_item
+//                  [WHERE expr] [GROUP BY ident_list]
+//                  [ORDER BY sort_list] [LIMIT int] [';']
+//   select_list := '*' | select_item {',' select_item}
+//   select_item := agg '(' expr ')' [[AS] ident]
+//                | COUNT '(' '*' ')' [[AS] ident]
+//                | expr [[AS] ident]
+//   from_item   := ident | ident '(' [scalar {',' scalar}] ')'
+//
+// Every failure is a recoverable Status carrying a line/column caret
+// snippet (never an abort): the text front-end shares the api/validate
+// error contract.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace recycledb {
+namespace sql {
+
+/// Parses one SELECT statement. On failure returns InvalidArgument with a
+/// caret snippet pointing at the offending token; `*out` is then in an
+/// unspecified (but valid) state.
+Status Parse(std::string_view sql, SelectStmt* out);
+
+}  // namespace sql
+}  // namespace recycledb
