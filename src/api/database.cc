@@ -125,6 +125,12 @@ Status Database::ReplaceTable(const std::string& name, TablePtr table) {
   return Status::OK();
 }
 
+Status Database::AppendTable(const std::string& name, const Table& delta) {
+  RDB_RETURN_NOT_OK(catalog_.AppendRows(name, delta));
+  recycler_.OnTableAppended(name);
+  return Status::OK();
+}
+
 std::unique_ptr<Session> Database::Connect(SessionOptions options) {
   return std::unique_ptr<Session>(new Session(this, std::move(options)));
 }

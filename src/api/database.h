@@ -80,6 +80,15 @@ class Database {
   /// Replaces a table and invalidates every cached result depending on it
   /// (the paper's update-commit semantics).
   Status ReplaceTable(const std::string& name, TablePtr table);
+  /// Appends `delta`'s rows to table `name` (copy-on-append: readers and
+  /// in-flight queries keep their immutable as-of snapshot). Cached
+  /// results over the table are NOT discarded wholesale: entries delta
+  /// maintenance can refresh — single-table select/project chains and
+  /// decomposable aggregates, stamped with the row mark they were
+  /// computed at — are kept and served as cached-prefix + delta-window
+  /// rewrites on their next hit; everything else is invalidated. Schema
+  /// of `delta` must match the registered table.
+  Status AppendTable(const std::string& name, const Table& delta);
   /// The catalog, for workload generators that populate tables directly
   /// (tpch::Generate, skyserver::Setup).
   Catalog& catalog() { return catalog_; }

@@ -72,6 +72,13 @@ class Result {
   /// Reuses served by lazily re-admitting a spilled result from the
   /// on-disk cold tier; counted inside reuses() as well.
   int cold_hits() const { return trace_.num_cold_hits; }
+  /// Reuses served by delta maintenance: an append-stale cached result
+  /// stitched with a bounded scan of the appended row window; counted
+  /// inside reuses() as well.
+  int delta_reuses() const { return trace_.num_delta_reuses; }
+  /// Delta reuses that merged cached aggregate state with a delta-window
+  /// aggregate (no base-row rescan); counted inside delta_reuses().
+  int agg_merges() const { return trace_.num_agg_merges; }
   /// Results this query added to the recycler cache.
   int materialized() const { return trace_.num_materialized; }
   /// Executions of this query's template before this one (0 for ad-hoc).

@@ -239,6 +239,8 @@ void Session::Record(const Result& result) {
   stats_.subsumption_reuses += result.subsumption_reuses();
   stats_.partial_reuses += result.partial_reuses();
   stats_.cold_hits += result.cold_hits();
+  stats_.delta_reuses += result.delta_reuses();
+  stats_.agg_merges += result.agg_merges();
   stats_.materializations += result.materialized();
   stats_.stalls += result.trace().num_stalls;
   stats_.blocks_scanned += result.trace().blocks_scanned;

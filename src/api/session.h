@@ -55,6 +55,12 @@ struct SessionStats {
   /// Reuses served by loading a spilled result from the cold tier
   /// (counted inside reuses as well).
   int64_t cold_hits = 0;
+  /// Reuses served by delta maintenance over append-stale entries
+  /// (counted inside reuses as well).
+  int64_t delta_reuses = 0;
+  /// Delta reuses merging cached aggregate state with the delta window
+  /// (counted inside delta_reuses as well).
+  int64_t agg_merges = 0;
   /// Results this session's queries added to the cache.
   int64_t materializations = 0;
   /// Waits on another stream's in-flight materialization.

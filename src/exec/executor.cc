@@ -43,19 +43,28 @@ std::vector<ScanOp::PruneHint> DerivePruneHints(const PlanNode& select) {
 OperatorPtr Executor::BuildOperator(
     const PlanPtr& plan,
     const std::map<const PlanNode*, StoreRequest>* store_requests,
-    std::map<const PlanNode*, Operator*>* node_ops) {
+    std::map<const PlanNode*, Operator*>* node_ops, const TablePins* pins) {
   RDB_CHECK_MSG(plan->bound(), "plan must be bound before execution");
   OperatorPtr op;
   switch (plan->type()) {
     case OpType::kScan: {
-      TablePtr table = catalog_->GetTable(plan->table_name());
+      TablePtr table;
+      if (pins != nullptr) {
+        auto it = pins->find(plan->table_name());
+        if (it != pins->end()) table = it->second;
+      }
+      if (table == nullptr) table = catalog_->GetTable(plan->table_name());
       RDB_CHECK(table != nullptr);
       std::vector<int> idx;
       for (const auto& c : plan->scan_columns()) {
         idx.push_back(table->schema().IndexOfChecked(c));
       }
-      op = std::make_unique<ScanOp>(plan->output_schema(), table,
-                                    std::move(idx));
+      auto scan = std::make_unique<ScanOp>(plan->output_schema(), table,
+                                           std::move(idx));
+      if (plan->has_scan_range()) {
+        scan->SetRowWindow(plan->scan_begin(), plan->scan_end());
+      }
+      op = std::move(scan);
       break;
     }
     case OpType::kCachedScan: {
@@ -75,7 +84,7 @@ OperatorPtr Executor::BuildOperator(
       break;
     }
     case OpType::kSelect: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       // Push range conjuncts down as zone-map prune hints when the child
       // is a plain scan. Scans are never cacheable (CacheableType), so
       // `child` is the raw ScanOp, never a StoreOp wrapper.
@@ -95,39 +104,39 @@ OperatorPtr Executor::BuildOperator(
       break;
     }
     case OpType::kProject: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       op = std::make_unique<ProjectOp>(plan->output_schema(), std::move(child),
                                        plan->projections());
       break;
     }
     case OpType::kAggregate: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       op = std::make_unique<HashAggOp>(plan->output_schema(), std::move(child),
                                        plan->group_by(), plan->aggregates());
       break;
     }
     case OpType::kHashJoin: {
-      auto left = BuildOperator(plan->child(0), store_requests, node_ops);
-      auto right = BuildOperator(plan->child(1), store_requests, node_ops);
+      auto left = BuildOperator(plan->child(0), store_requests, node_ops, pins);
+      auto right = BuildOperator(plan->child(1), store_requests, node_ops, pins);
       op = std::make_unique<HashJoinOp>(plan->output_schema(), std::move(left),
                                         std::move(right), plan->join_kind(),
                                         plan->left_keys(), plan->right_keys());
       break;
     }
     case OpType::kOrderBy: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       op = std::make_unique<SortOp>(plan->output_schema(), std::move(child),
                                     plan->sort_keys());
       break;
     }
     case OpType::kTopN: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       op = std::make_unique<TopNOp>(plan->output_schema(), std::move(child),
                                     plan->sort_keys(), plan->limit());
       break;
     }
     case OpType::kLimit: {
-      auto child = BuildOperator(plan->child(), store_requests, node_ops);
+      auto child = BuildOperator(plan->child(), store_requests, node_ops, pins);
       op = std::make_unique<LimitOp>(plan->output_schema(), std::move(child),
                                      plan->limit());
       break;
@@ -135,7 +144,7 @@ OperatorPtr Executor::BuildOperator(
     case OpType::kUnionAll: {
       std::vector<OperatorPtr> children;
       for (const auto& c : plan->children()) {
-        children.push_back(BuildOperator(c, store_requests, node_ops));
+        children.push_back(BuildOperator(c, store_requests, node_ops, pins));
       }
       op = std::make_unique<UnionAllOp>(plan->output_schema(),
                                         std::move(children));
@@ -155,9 +164,10 @@ OperatorPtr Executor::BuildOperator(
 
 ExecResult Executor::Run(
     const PlanPtr& plan,
-    const std::map<const PlanNode*, StoreRequest>* store_requests) {
+    const std::map<const PlanNode*, StoreRequest>* store_requests,
+    const TablePins* pins) {
   std::map<const PlanNode*, Operator*> node_ops;
-  OperatorPtr root = BuildOperator(plan, store_requests, &node_ops);
+  OperatorPtr root = BuildOperator(plan, store_requests, &node_ops, pins);
 
   ExecResult result;
   Stopwatch sw;

@@ -48,16 +48,25 @@ class Executor {
   void set_zone_map_pruning(bool enabled) { zone_map_pruning_ = enabled; }
   bool zone_map_pruning() const { return zone_map_pruning_; }
 
+  /// Base tables pinned to specific as-of snapshots for one execution.
+  /// Scans of a pinned name read the pinned TablePtr instead of the live
+  /// catalog entry, so a delta-stitched plan's bounded windows stay
+  /// consistent with the high-water marks the rewrite was computed
+  /// against even while concurrent appends swap grown tables in.
+  using TablePins = std::map<std::string, TablePtr>;
+
   /// Builds the operator tree for `plan` (bound) and drains it.
   ExecResult Run(const PlanPtr& plan,
                  const std::map<const PlanNode*, StoreRequest>*
-                     store_requests = nullptr);
+                     store_requests = nullptr,
+                 const TablePins* pins = nullptr);
 
   /// Builds without running (exposed for tests).
   OperatorPtr BuildOperator(
       const PlanPtr& plan,
       const std::map<const PlanNode*, StoreRequest>* store_requests,
-      std::map<const PlanNode*, Operator*>* node_ops);
+      std::map<const PlanNode*, Operator*>* node_ops,
+      const TablePins* pins = nullptr);
 
  private:
   const Catalog* catalog_;

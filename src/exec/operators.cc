@@ -57,7 +57,17 @@ void ScanOp::SetPruneHints(std::vector<PruneHint> hints) {
   hints_ = std::move(hints);
 }
 
-void ScanOp::Open() { pos_ = 0; }
+void ScanOp::SetRowWindow(int64_t begin, int64_t end) {
+  RDB_CHECK_MSG(begin >= 0 && (end < 0 || end >= begin),
+                "invalid scan row window");
+  begin_ = begin;
+  end_ = end;
+}
+
+void ScanOp::Open() {
+  limit_ = end_ < 0 ? table_->num_rows() : std::min(end_, table_->num_rows());
+  pos_ = std::min(begin_, limit_);
+}
 
 bool ScanOp::BlockPruned(int64_t block) const {
   // A block is skippable when any hinted column's zone excludes the
@@ -71,13 +81,15 @@ bool ScanOp::BlockPruned(int64_t block) const {
 }
 
 bool ScanOp::Next(Batch* out) {
-  // pos_ only ever advances by full batches, so it stays aligned to the
-  // kZoneMapBlockRows (== kDefaultBatchRows) grid and each emission is
-  // exactly one zone-map block.
-  const int64_t rows = table_->num_rows();
-  while (pos_ < rows) {
-    int64_t count = std::min(kDefaultBatchRows, rows - pos_);
-    if (!hints_.empty() && BlockPruned(pos_ / kZoneMapBlockRows)) {
+  // pos_ stays on the table's global kZoneMapBlockRows (== kDefaultBatchRows)
+  // grid: a row window whose begin is mid-block emits one short batch up to
+  // the next block boundary, after which every emission is exactly one
+  // zone-map block, so block pruning keeps its 1:1 block/batch mapping.
+  while (pos_ < limit_) {
+    int64_t block = pos_ / kZoneMapBlockRows;
+    int64_t block_end = (block + 1) * kZoneMapBlockRows;
+    int64_t count = std::min(block_end, limit_) - pos_;
+    if (!hints_.empty() && BlockPruned(block)) {
       ++stats_.blocks_pruned;
       pos_ += count;
       continue;
@@ -91,8 +103,10 @@ bool ScanOp::Next(Batch* out) {
 }
 
 double ScanOp::Progress() const {
-  if (table_->num_rows() == 0) return 1.0;
-  return static_cast<double>(pos_) / static_cast<double>(table_->num_rows());
+  const int64_t span = limit_ - std::min(begin_, limit_);
+  if (span == 0) return 1.0;
+  return static_cast<double>(pos_ - std::min(begin_, limit_)) /
+         static_cast<double>(span);
 }
 
 // ---------------------------------------------------------------------------

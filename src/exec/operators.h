@@ -32,6 +32,13 @@ class ScanOp : public Operator {
   /// Must be called before Open().
   void SetPruneHints(std::vector<PruneHint> hints);
 
+  /// Restricts the scan to table rows [begin, end) — the delta window of
+  /// a delta-maintenance rewrite. `end` of -1 means "to the end of the
+  /// table"; both bounds are clamped to the table size at Open(). Zone-map
+  /// pruning still applies inside the window (edge blocks use the full
+  /// block's zone, which is conservative). Must be called before Open().
+  void SetRowWindow(int64_t begin, int64_t end);
+
   void Open() override;
   bool Next(Batch* out) override;
   void Close() override {}
@@ -43,6 +50,9 @@ class ScanOp : public Operator {
   TablePtr table_;
   std::vector<int> column_indices_;
   std::vector<PruneHint> hints_;
+  int64_t begin_ = 0;    // requested window start
+  int64_t end_ = -1;     // requested window end (-1 = table end)
+  int64_t limit_ = 0;    // clamped window end, computed at Open
   int64_t pos_ = 0;
 };
 

@@ -46,6 +46,17 @@ PlanPtr PlanNode::Scan(std::string table, std::vector<std::string> columns) {
   return p;
 }
 
+PlanPtr PlanNode::ScanRange(std::string table,
+                            std::vector<std::string> columns, int64_t begin,
+                            int64_t end) {
+  RDB_CHECK_MSG(begin >= 0 && (end < 0 || end >= begin),
+                "invalid scan row range");
+  PlanPtr p = Scan(std::move(table), std::move(columns));
+  p->scan_begin_ = begin;
+  p->scan_end_ = end;
+  return p;
+}
+
 PlanPtr PlanNode::FunctionScan(std::string function, std::vector<Datum> args) {
   PlanPtr p(new PlanNode());
   p->type_ = OpType::kFunctionScan;
@@ -292,8 +303,14 @@ std::string MapName(const std::string& name, const NameMap* mapping) {
 
 std::string PlanNode::ParamFingerprint(const NameMap* mapping) const {
   switch (type_) {
-    case OpType::kScan:
-      return "scan:" + table_ + ":[" + Join(columns_, ",") + "]";
+    case OpType::kScan: {
+      std::string out = "scan:" + table_ + ":[" + Join(columns_, ",") + "]";
+      if (has_scan_range()) {
+        out += StrFormat(":rows[%lld,%lld)", (long long)scan_begin_,
+                         (long long)scan_end_);
+      }
+      return out;
+    }
     case OpType::kFunctionScan: {
       std::string out = "fscan:" + table_ + "(";
       if (!arg_exprs_.empty()) {
@@ -374,6 +391,10 @@ uint64_t PlanNode::HashKey() const {
   switch (type_) {
     case OpType::kScan:
       h = HashCombine(h, HashString(table_));
+      if (has_scan_range()) {
+        h = HashCombine(h, HashMix(static_cast<uint64_t>(scan_begin_) * 131 +
+                                   static_cast<uint64_t>(scan_end_ + 1)));
+      }
       break;
     case OpType::kFunctionScan: {
       h = HashCombine(h, HashString(table_));
@@ -621,6 +642,14 @@ std::string PlanNode::Explain(int indent) const {
     case OpType::kScan:
       line = StrFormat("Scan %s [%s]", table_.c_str(),
                        Join(columns_, ", ").c_str());
+      if (has_scan_range()) {
+        // The delta window of a delta-maintenance rewrite: base rows
+        // appended after the stitched cached result's as-of mark.
+        line += scan_end_ < 0
+                    ? StrFormat(" rows=[%lld, end)", (long long)scan_begin_)
+                    : StrFormat(" rows=[%lld, %lld)", (long long)scan_begin_,
+                                (long long)scan_end_);
+      }
       break;
     case OpType::kFunctionScan: {
       line = "FunctionScan " + table_ + "(";
@@ -702,6 +731,9 @@ std::string PlanNode::Explain(int indent) const {
       line = StrFormat("CachedScan rows=%lld [%s]",
                        cached_ != nullptr ? (long long)cached_->num_rows() : 0,
                        Join(columns_, ", ").c_str());
+      if (as_of_rows_ >= 0) {
+        line += StrFormat(" as-of=%lld", (long long)as_of_rows_);
+      }
       if (!cache_key_.empty()) line += StrFormat(" key=%s", cache_key_.c_str());
       break;
   }

@@ -69,6 +69,12 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
  public:
   // ---- factories ------------------------------------------------------
   static PlanPtr Scan(std::string table, std::vector<std::string> columns);
+  /// Bounded scan over base-table rows [begin, end): the delta window of
+  /// the delta-maintenance rewrite (rows appended after a cached result's
+  /// as-of mark). `end` of -1 means "to the end of the table". Zone-map
+  /// pruning still applies inside the window.
+  static PlanPtr ScanRange(std::string table, std::vector<std::string> columns,
+                           int64_t begin, int64_t end);
   static PlanPtr FunctionScan(std::string function, std::vector<Datum> args);
   /// FunctionScan whose arguments may contain Expr::Param placeholders.
   /// Every arg must be a kLiteral or kParam expression. The node cannot be
@@ -100,6 +106,12 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
 
   const std::string& table_name() const { return table_; }
   const std::vector<std::string>& scan_columns() const { return columns_; }
+  /// First base-table row a kScan reads (0 for a full scan).
+  int64_t scan_begin() const { return scan_begin_; }
+  /// One past the last base-table row a kScan reads; -1 = to the end.
+  int64_t scan_end() const { return scan_end_; }
+  /// True when this kScan carries an explicit row window.
+  bool has_scan_range() const { return scan_begin_ > 0 || scan_end_ >= 0; }
   const std::string& function_name() const { return table_; }
   const std::vector<Datum>& function_args() const { return args_; }
   /// Unresolved function args of a template FunctionScan (empty once
@@ -122,6 +134,12 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
   /// by Explain so reuse decisions are attributable to cache entries.
   const std::string& cache_key() const { return cache_key_; }
   void set_cache_key(std::string key) { cache_key_ = std::move(key); }
+
+  /// Append high-water mark the result behind a kCachedScan was computed
+  /// at (result-as-of-row-N, delta maintenance). Display-only — excluded
+  /// from fingerprints — and printed by Explain; -1 means unstamped.
+  int64_t as_of_rows() const { return as_of_rows_; }
+  void set_as_of_rows(int64_t rows) { as_of_rows_ = rows; }
 
   bool bound() const { return bound_; }
   const Schema& output_schema() const;
@@ -236,6 +254,9 @@ class PlanNode : public std::enable_shared_from_this<PlanNode> {
 
   std::string table_;                  // scan table / function name
   std::vector<std::string> columns_;   // scan column list / cached col names
+  int64_t scan_begin_ = 0;             // kScan row window [begin, end)
+  int64_t scan_end_ = -1;              // -1 = unbounded (to end of table)
+  int64_t as_of_rows_ = -1;            // kCachedScan as-of mark (display)
   std::vector<Datum> args_;            // function args
   std::vector<ExprPtr> arg_exprs_;     // template function args (unresolved)
   uint64_t template_hash_ = 0;         // prepared-statement template tag

@@ -214,6 +214,20 @@ Status ColdTier::Load(const RGNode* node, TablePtr* out) {
   return st;
 }
 
+Status ColdTier::LoadSlice(const RGNode* node, int filter_column,
+                           const ColumnInterval& range, TablePtr* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(node);
+  if (it == live_.end()) {
+    return Status::NotFound("no live cold-tier entry for node");
+  }
+  SpillFileMeta meta;
+  Status st =
+      ReadSpillTableFiltered(it->second->path, &meta, filter_column, range, out);
+  if (st.ok()) it->second->second_chance = true;
+  return st;
+}
+
 bool ColdTier::AdoptOrphan(const std::string& canon_key, const RGNode* node,
                            SpillFileMeta* meta, int64_t* bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -239,6 +253,19 @@ void ColdTier::PurgeTable(const std::string& table,
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = clock_.begin(); it != clock_.end();) {
     ClockIt cur = it++;
+    bool hit = false;
+    for (const std::string& t : cur->meta.base_tables) hit |= (t == table);
+    if (hit) EvictRec(cur, dropped_nodes);
+  }
+}
+
+void ColdTier::PurgeUnversionedOrphans(
+    const std::string& table, std::vector<const RGNode*>* dropped_nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = clock_.begin(); it != clock_.end();) {
+    ClockIt cur = it++;
+    if (cur->node != nullptr) continue;  // live: the recycler judges it
+    if (!cur->meta.table_versions.empty()) continue;  // stamped: adoptable
     bool hit = false;
     for (const std::string& t : cur->meta.base_tables) hit |= (t == table);
     if (hit) EvictRec(cur, dropped_nodes);

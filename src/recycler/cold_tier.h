@@ -112,6 +112,15 @@ class ColdTier {
   /// the caller should Remove(node) and treat it as a miss.
   Status Load(const RGNode* node, TablePtr* out);
 
+  /// Like Load, but materializes only the rows whose value in column
+  /// `filter_column` falls in `range` (ReadSpillTableFiltered: the
+  /// selection runs on the encoded image before any decode). Sets the
+  /// second-chance bit on success. The slice is a partial result and
+  /// must never be promoted to the hot tier or re-spilled by the caller.
+  /// Fails recoverably for v1 files (no encoded image to filter).
+  Status LoadSlice(const RGNode* node, int filter_column,
+                   const ColumnInterval& range, TablePtr* out);
+
   /// Claims the orphan under `canon_key` for `node` (making it live) and
   /// returns its metadata. False when no orphan has that key.
   bool AdoptOrphan(const std::string& canon_key, const RGNode* node,
@@ -126,6 +135,14 @@ class ColdTier {
   /// `dropped_nodes` for graph-state demotion by the caller.
   void PurgeTable(const std::string& table,
                   std::vector<const RGNode*>* dropped_nodes);
+
+  /// Append-time variant of PurgeTable: deletes only entries over
+  /// `table` WITHOUT row stamps (v1/v2 images — indistinguishable from
+  /// stale under appends). Stamped (v3) entries survive: orphans
+  /// re-anchor their marks on adoption, and live entries are judged by
+  /// the recycler against their in-memory stamps.
+  void PurgeUnversionedOrphans(const std::string& table,
+                               std::vector<const RGNode*>* dropped_nodes);
 
   ColdTierStats Stats() const;
 

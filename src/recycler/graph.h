@@ -6,6 +6,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -46,6 +47,16 @@ inline void AtomicScale(std::atomic<double>& a, double factor) {
                                   std::memory_order_relaxed)) {
   }
 }
+
+/// As-of version of one base table at the time a cached result was
+/// computed: the catalog entry's replace-epoch plus its row high-water
+/// mark. A cached result stamped {epoch, rows} was computed from exactly
+/// rows [0, rows) of that table version (see DESIGN.md "Delta
+/// maintenance").
+struct TableStamp {
+  uint64_t epoch = 0;
+  int64_t rows = 0;
+};
 
 /// A node of the recycler graph: one relational operator with parameters,
 /// annotated with reference statistics and its cached result (if any).
@@ -142,6 +153,15 @@ struct RGNode {
   /// Guarded by the node's mat shard mutex.
   TablePtr cached;  // column names are graph-space output_names
   std::atomic<int64_t> cached_bytes{0};
+  /// Per-base-table as-of versions of the materialized result (one entry
+  /// per name in `base_tables`), written when the result is admitted and
+  /// cleared when the entry drops back to kNone. Guarded by the node's
+  /// mat shard mutex, like `cached`; meaningful only while mat_state is
+  /// kCached/kCold (the stamp outlives `cached` across the spill tier).
+  /// An empty map on a materialized entry means "stamped before delta
+  /// maintenance existed" — lookups treat it as fresh and appends must
+  /// hard-invalidate it.
+  std::map<std::string, TableStamp> stamps;
 };
 
 /// Statistics snapshot of the graph (diagnostics & Fig. 10 bench).

@@ -210,10 +210,12 @@ bool Recycler::MaybeSpill(RGNode* node) {
   double benefit = BenefitOf(node);
   if (benefit < config_.spill_min_benefit) return false;
   TablePtr snapshot;
+  std::map<std::string, TableStamp> stamps;
   {
     RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
     std::lock_guard<std::mutex> slock(shard.mu);
     snapshot = node->cached;
+    stamps = node->stamps;
   }
   if (snapshot == nullptr) return false;
 
@@ -227,6 +229,9 @@ bool Recycler::MaybeSpill(RGNode* node) {
   meta.h = node->h.load();
   meta.benefit = benefit;
   meta.base_tables.assign(node->base_tables.begin(), node->base_tables.end());
+  for (const auto& [t, stamp] : stamps) {
+    meta.table_versions.emplace_back(t, stamp.rows);
+  }
 
   std::vector<const RGNode*> dropped;
   bool ok = cold_tier_.Spill(node, meta.canon_key, *snapshot, meta, &dropped);
@@ -348,6 +353,42 @@ TablePtr Recycler::ReadmitCold(RGNode* node) {
   return named;
 }
 
+TablePtr Recycler::SnapshotOrLoadSlice(RGNode* node, const RangeSpec* spec,
+                                       PreparedQuery* prepared,
+                                       bool* from_cold) {
+  {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    if (node->mat_state.load() == MatState::kCached) {
+      *from_cold = prepared->cold_loaded_.count(node) > 0;
+      return node->cached;
+    }
+  }
+  if (spec != nullptr && node->mat_state.load() == MatState::kCold) {
+    // Filtered slice: run the selection on the encoded spill image and
+    // materialize only in-range rows. The spec's mapped_column is in
+    // graph space, as are the node's output names; a candidate that
+    // renames or computes the column falls through to a full load.
+    int idx = -1;
+    for (size_t i = 0; i < node->output_names.size(); ++i) {
+      if (node->output_names[i] == spec->mapped_column) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idx >= 0) {
+      TablePtr sliced;
+      if (cold_tier_.LoadSlice(node, idx, spec->range, &sliced).ok()) {
+        prepared->cold_loaded_.insert(node);
+        *from_cold = true;
+        counters_.cold_slice_loads.fetch_add(1);
+        return sliced->RenameColumns(node->output_names);
+      }
+    }
+  }
+  return SnapshotOrReadmit(node, prepared, from_cold);
+}
+
 void Recycler::TryAdoptOrphan(RGNode* node) {
   // Caller holds the exclusive graph lock, which excludes every spill /
   // sweep path (those hold it shared), so the adopted entry cannot be
@@ -365,6 +406,20 @@ void Recycler::TryAdoptOrphan(RGNode* node) {
     cold_tier_.Remove(node);
     return;
   }
+  // Re-anchor v3 row stamps against the live catalog: replace-epochs are
+  // process-local, so an image is adoptable iff every row mark still fits
+  // inside the current table (appends since the spill leave it usable as
+  // an as-of prefix; a shrunk or missing base does not). v1/v2 images
+  // have no stamps and adopt unstamped (same-base-data contract).
+  std::map<std::string, TableStamp> stamps;
+  for (const auto& [tname, rows] : meta.table_versions) {
+    TableSnapshot snap = catalog_->Snapshot(tname);
+    if (snap.table == nullptr || rows > snap.rows) {
+      cold_tier_.Remove(node);
+      return;
+    }
+    stamps[tname] = TableStamp{snap.epoch, rows};
+  }
   node->bcost_ms.store(meta.bcost_ms);
   node->has_bcost.store(true);
   node->rows.store(meta.num_rows);
@@ -372,6 +427,11 @@ void Recycler::TryAdoptOrphan(RGNode* node) {
   node->has_size.store(true);
   node->h.store(meta.h);
   node->h_epoch.store(graph_.epoch());
+  if (!stamps.empty()) {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    node->stamps = std::move(stamps);
+  }
   SetMatState(node, MatState::kCold);
   {
     std::lock_guard<std::mutex> clock(cache_mu_);
@@ -643,6 +703,92 @@ void Recycler::UpdateHrOnEvict(RGNode* node) {
 // Reuse rewriting (+ stalls and subsumption)
 // ---------------------------------------------------------------------------
 
+Freshness Recycler::NodeFreshness(RGNode* node, const PreparedQuery* prepared,
+                                  StaleWindow* window) {
+  std::map<std::string, TableStamp> stamps;
+  {
+    RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
+    std::lock_guard<std::mutex> slock(shard.mu);
+    stamps = node->stamps;
+  }
+  return CheckFreshness(stamps, node->base_tables, prepared->snapshots_,
+                        window);
+}
+
+void Recycler::DropSupersededEntry(RGNode* g) {
+  std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+  std::lock_guard<std::mutex> clock(cache_mu_);
+  MatState ms = g->mat_state.load();
+  if (ms != MatState::kCached && ms != MatState::kCold) return;
+  // Unlike EvictNode, no Eq. 4 h-giveback and no eviction counter: the
+  // entry's data lives on inside the delta rewrite that replaces it, and
+  // the refreshed result is about to be re-admitted. A concurrent stream
+  // re-admitting the same node in this window loses its entry — benign,
+  // the next hit re-materializes.
+  cache_.Remove(g);
+  interval_index_.Remove(g);
+  cold_tier_.Remove(g);
+  SetMatState(g, MatState::kNone, /*clear_cached=*/true);
+}
+
+PlanPtr Recycler::TryDeltaRewrite(MNode* m, const PlanPtr& plan, RGNode* g,
+                                  TablePtr snapshot, const StaleWindow& window,
+                                  PreparedQuery* prepared) {
+  if (!DeltaEligiblePlan(*plan, window.table)) return nullptr;
+  const bool agg_merge = plan->type() == OpType::kAggregate;
+  PlanPtr cached_scan;
+  PlanPtr delta_plan =
+      agg_merge
+          ? BuildAggMerge(*plan, std::move(snapshot), window, &cached_scan)
+          : BuildDeltaStitch(*plan, std::move(snapshot), window, &cached_scan);
+  {
+    std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+    cached_scan->set_cache_key(CanonicalSubtreeKey(g));
+    // Eq. 2 credit: the cached prefix replaced the share of the node's
+    // from-base-tables work proportional to the rows it covers. No extra
+    // h bump — the exact match already bumped in BumpImportance.
+    double frac = window.to_rows > 0
+                      ? static_cast<double>(window.from_rows) /
+                            static_cast<double>(window.to_rows)
+                      : 1.0;
+    prepared->replaced_cost_[cached_scan.get()] = g->bcost_ms.load() * frac;
+  }
+  // The rewrite supersedes the stale entry; dropping it to kNone lets
+  // InjectStores' stitched branch claim the node, so the refreshed full
+  // result re-admits at the new high-water mark (OfferResult stamps it
+  // with this query's snapshots).
+  DropSupersededEntry(g);
+  m->stitched = true;
+  m->exec_plan = delta_plan.get();
+  prepared->exec_to_gnode_[delta_plan.get()] = g;
+  ++prepared->trace_.num_reuses;
+  ++prepared->trace_.num_delta_reuses;
+  counters_.reuses.fetch_add(1);
+  counters_.delta_hits.fetch_add(1);
+  if (agg_merge) {
+    ++prepared->trace_.num_agg_merges;
+    counters_.agg_merges.fetch_add(1);
+  }
+  if (prepared->cold_loaded_.count(g) > 0) {
+    ++prepared->trace_.num_cold_hits;
+    counters_.cold_hits.fetch_add(1);
+  }
+  return delta_plan;
+}
+
+void Recycler::MaybeAdoptOrphanParents(RGNode* child_gnode) {
+  if (!cold_tier_.has_orphans()) return;
+  // Derived reuse probes this child's parents for cached results; restart
+  // orphans among them are invisible until some query re-inserts the
+  // exact node. Adopt them here by canonical key so a subsumption/stitch
+  // lookup can serve them directly.
+  std::unique_lock<std::shared_mutex> glock(graph_.mutex());
+  std::unordered_set<RGNode*> seen;
+  for (const auto& [hk, parent] : child_gnode->parents) {
+    if (seen.insert(parent).second) TryAdoptOrphan(parent);
+  }
+}
+
 PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
                                   PreparedQuery* prepared) {
   RGNode* g = m->gnode;
@@ -682,6 +828,31 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       snapshot = SnapshotOrReadmit(g, prepared, &exact_from_cold);
     }
     if (snapshot != nullptr) {
+      // Delta maintenance: a snapshot stamped behind this query's pinned
+      // base tables is not served as-is. Append-only staleness rewrites
+      // into cached-prefix + delta-window (or an aggregate merge);
+      // anything else drops the superseded entry and falls through to a
+      // miss. kAhead (a concurrent refresh already re-admitted at a
+      // newer mark than this query's older snapshot) is a miss WITHOUT
+      // eviction: the entry is perfectly fresh for later queries.
+      StaleWindow window;
+      Freshness fresh = NodeFreshness(g, prepared, &window);
+      if (fresh != Freshness::kFresh) {
+        if (fresh == Freshness::kAppendStale &&
+            config_.enable_delta_maintenance && !window.table.empty()) {
+          PlanPtr delta = TryDeltaRewrite(m, plan, g, std::move(snapshot),
+                                          window, prepared);
+          if (delta != nullptr) return delta;
+        }
+        if (fresh != Freshness::kAhead) {
+          DropSupersededEntry(g);
+          counters_.invalidations.fetch_add(1);
+        }
+        snapshot = nullptr;
+        exact_from_cold = false;
+      }
+    }
+    if (snapshot != nullptr) {
       PlanPtr cs =
           PlanNode::CachedScan(snapshot, plan->output_schema().Names());
       {
@@ -710,6 +881,10 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
     if ((config_.enable_subsumption || config_.enable_partial_reuse) &&
         m->children.size() == 1 && m->children[0]->gnode != nullptr) {
       RGNode* child_gnode = m->children[0]->gnode;
+      // Restart orphans among this child's parents become directly
+      // servable subsumption/stitch candidates (adoption by canonical
+      // key), instead of waiting for an exact re-insertion.
+      MaybeAdoptOrphanParents(child_gnode);
 
       // Single-superset subsumption (§IV-A). Candidate parents are
       // collected under the shared lock; their snapshots are taken
@@ -736,12 +911,30 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
         // leaves the loaded result promoted for future queries.
         hot_cands.insert(hot_cands.end(), cold_cands.begin(),
                          cold_cands.end());
+        // When the query is a range selection, a cold candidate loads as
+        // a filtered slice: the selection runs on the encoded image and
+        // only in-range rows materialize. Sound because the subsumption
+        // compensation either already implies the range (shared
+        // conjunct) or re-applies it (residual).
+        std::vector<RangeSpec> sub_specs;
+        if (plan->type() == OpType::kSelect) {
+          sub_specs =
+              ExtractRangeSpecs(plan->predicate(), &m->children[0]->mapping);
+        }
+        const RangeSpec* sub_spec =
+            sub_specs.empty() ? nullptr : &sub_specs[0];
         SubsumptionPlan derived;
         RGNode* subsumer = nullptr;
         bool subsumer_from_cold = false;
         for (RGNode* parent : hot_cands) {
+          // A stale candidate never derives: its result may lack
+          // appended rows the query's pinned snapshot contains.
+          if (NodeFreshness(parent, prepared, nullptr) != Freshness::kFresh) {
+            continue;
+          }
           bool from_cold = false;
-          TablePtr cached = SnapshotOrReadmit(parent, prepared, &from_cold);
+          TablePtr cached =
+              SnapshotOrLoadSlice(parent, sub_spec, prepared, &from_cold);
           if (cached == nullptr) continue;
           derived = TrySubsumption(*m->plan, m->children[0]->mapping,
                                    *parent, cached);
@@ -810,7 +1003,8 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
           PlanPtr delta_child = plan->children()[0];
           bool delta_child_cached = false;
           bool delta_child_from_cold = false;
-          {
+          if (NodeFreshness(child_gnode, prepared, nullptr) ==
+              Freshness::kFresh) {
             TablePtr child_snap =
                 SnapshotOrReadmit(child_gnode, prepared, &delta_child_from_cold);
             if (child_snap != nullptr) {
@@ -825,8 +1019,16 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
             std::vector<IntervalCandidate> cands;
             for (IntervalIndex::Entry& e : entries_per_spec[si]) {
               if (e.node == g) continue;  // exact reuse handled above
+              // Stale slices never stitch (appended rows missing); cold
+              // slices load filtered through the query's own interval
+              // (rows outside it are clipped out by the stitch anyway).
+              if (NodeFreshness(e.node, prepared, nullptr) !=
+                  Freshness::kFresh) {
+                continue;
+              }
               bool from_cold = false;
-              TablePtr cached = SnapshotOrReadmit(e.node, prepared, &from_cold);
+              TablePtr cached =
+                  SnapshotOrLoadSlice(e.node, &specs[si], prepared, &from_cold);
               if (cached == nullptr) continue;
               cands.push_back({e.node, std::move(cached), e.range,
                                std::move(e.other_fps)});
@@ -1031,7 +1233,13 @@ void Recycler::SetMatState(RGNode* node, MatState state, bool clear_cached) {
   RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (clear_cached) node->cached = nullptr;
+    if (clear_cached) {
+      node->cached = nullptr;
+      // The stamps describe the materialized result, which outlives the
+      // hot TablePtr across the cold tier: only the final drop to kNone
+      // clears them (a kCold demotion keeps its as-of identity).
+      if (state == MatState::kNone) node->stamps.clear();
+    }
     node->mat_state.store(state);
   }
   shard.cv.notify_all();
@@ -1078,6 +1286,18 @@ void Recycler::OfferResult(RGNode* node, TablePtr result, double subtree_ms,
     RecyclerGraph::MatShard& shard = graph_.mat_shard(node);
     std::lock_guard<std::mutex> slock(shard.mu);
     node->cached = std::move(graph_table);
+    // Stamp the result with the as-of versions it was computed from
+    // (delta maintenance). A dependency without a pinned snapshot leaves
+    // the entry unstamped; appends then hard-invalidate it.
+    node->stamps.clear();
+    for (const std::string& t : node->base_tables) {
+      auto it = prepared->snapshots_.find(t);
+      if (it == prepared->snapshots_.end()) {
+        node->stamps.clear();
+        break;
+      }
+      node->stamps[t] = TableStamp{it->second.epoch, it->second.rows};
+    }
   }
   node->cached_bytes.store(bytes);
   node->size_bytes.store(static_cast<double>(bytes));
@@ -1173,6 +1393,47 @@ void Recycler::InvalidateTable(const std::string& table) {
   }
 }
 
+void Recycler::OnTableAppended(const std::string& table) {
+  // Same locking shape as InvalidateTable, but append-only growth is
+  // survivable: a materialized entry is KEPT when delta maintenance can
+  // refresh it — stamped at the current epoch with a mark not past the
+  // table, and of a delta-eligible shape (single-table chain with an
+  // optionally decomposable aggregate root). Everything else — unstamped
+  // legacy entries, joins, non-decomposable roots — hard-invalidates.
+  TableSnapshot snap = catalog_->Snapshot(table);
+  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+  std::lock_guard<std::mutex> clock(cache_mu_);
+  for (const auto& n : graph_.nodes()) {
+    MatState ms = n->mat_state.load();
+    if ((ms != MatState::kCached && ms != MatState::kCold) ||
+        n->base_tables.count(table) == 0) {
+      continue;
+    }
+    bool keep = false;
+    if (config_.enable_delta_maintenance && snap.table != nullptr &&
+        DeltaEligibleNode(*n, table)) {
+      RecyclerGraph::MatShard& shard = graph_.mat_shard(n.get());
+      std::lock_guard<std::mutex> slock(shard.mu);
+      auto it = n->stamps.find(table);
+      keep = it != n->stamps.end() && it->second.epoch == snap.epoch &&
+             it->second.rows <= snap.rows;
+    }
+    if (!keep) {
+      EvictNode(n.get(), /*update_h=*/ms == MatState::kCached);
+      counters_.invalidations.fetch_add(1);
+    }
+  }
+  // Orphan images from a previous process: v3 files carry row marks and
+  // re-anchor on adoption (TryAdoptOrphan drops any whose mark exceeds
+  // the live table), so they survive appends. Unversioned (v1/v2) files
+  // are indistinguishable from stale — purge those.
+  std::vector<const RGNode*> dropped;
+  cold_tier_.PurgeUnversionedOrphans(table, &dropped);
+  for (const RGNode* d : dropped) {
+    OnColdEntryDropped(const_cast<RGNode*>(d));
+  }
+}
+
 int64_t Recycler::TruncateGraph(int64_t idle_epochs) {
   std::unique_lock<std::shared_mutex> lock(graph_.mutex());
   return graph_.Truncate(idle_epochs);
@@ -1204,6 +1465,18 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
         template_stats_[prepared->trace_.template_hash].executions;
   }
   plan->Bind(*catalog_);
+
+  // Pin one consistent as-of snapshot of every base table for this
+  // query (pinned in every mode: scans must not see rows appended
+  // mid-query even with the recycler off). Freshness checks compare
+  // cached-entry stamps against these, and Execute scans through pins_.
+  for (const std::string& t : plan->base_tables()) {
+    TableSnapshot snap = catalog_->Snapshot(t);
+    if (snap.table != nullptr) {
+      prepared->pins_[t] = snap.table;
+      prepared->snapshots_[t] = std::move(snap);
+    }
+  }
 
   if (config_.mode == RecyclerMode::kOff) {
     prepared->plan_ = std::move(plan);
@@ -1374,7 +1647,8 @@ std::map<uint64_t, TemplateStats> Recycler::TemplateStatsSnapshot() const {
 
 ExecResult Recycler::Execute(const PlanPtr& query_plan, QueryTrace* trace_out) {
   std::unique_ptr<PreparedQuery> prepared = Prepare(query_plan);
-  ExecResult result = executor_.Run(prepared->plan(), &prepared->stores());
+  ExecResult result =
+      executor_.Run(prepared->plan(), &prepared->stores(), &prepared->pins_);
   OnComplete(prepared.get(), result);
   if (trace_out != nullptr) *trace_out = prepared->trace();
   return result;

@@ -13,6 +13,7 @@
 #include "exec/executor.h"
 #include "recycler/cache.h"
 #include "recycler/cold_tier.h"
+#include "recycler/delta.h"
 #include "recycler/graph.h"
 #include "recycler/interval_index.h"
 
@@ -94,6 +95,14 @@ struct RecyclerConfig {
   /// a query's range predicate. Pruning is conservative (never skips a
   /// possibly-matching block), so results are identical either way.
   bool enable_zone_map_pruning = true;
+  /// Delta maintenance of cached results under append-only growth
+  /// (recycler/delta.h): cached entries stale only by appended rows are
+  /// served as UnionAll(cached as-of N, delta scan over [N, now)) — or an
+  /// aggregate merge for decomposable Aggregate roots — and re-admitted
+  /// at the new high-water mark. When off, an append hard-invalidates
+  /// every dependent entry (the pre-delta behavior). Results are
+  /// bit-identical either way.
+  bool enable_delta_maintenance = true;
 };
 
 /// Per-query observability record (drives Fig. 9 traces and Fig. 10).
@@ -107,6 +116,8 @@ struct QueryTrace {
   int num_reuses = 0;              // cached results consumed
   int num_subsumption_reuses = 0;  // of which via subsumption
   int num_partial_reuses = 0;      // of which via partial-range stitching
+  int num_delta_reuses = 0;        // of which via delta maintenance
+  int num_agg_merges = 0;          // of which aggregate merges (no rescan)
   int num_cold_hits = 0;           // of which loaded from the cold tier
   int num_materialized = 0;        // results added to the cache
   int num_spec_aborted = 0;        // speculative stores that backed off
@@ -146,6 +157,12 @@ struct RecyclerCounters {
   std::atomic<int64_t> evictions{0};
   std::atomic<int64_t> invalidations{0};
   std::atomic<int64_t> proactive_rewrites{0};
+  // --- delta maintenance ----------------------------------------------
+  /// Append-stale entries served by a delta rewrite instead of eviction.
+  std::atomic<int64_t> delta_hits{0};
+  /// Of which aggregate merges (cached aggregate state + delta-window
+  /// aggregation; zero base rows before the mark rescanned).
+  std::atomic<int64_t> agg_merges{0};
   // --- cold tier -------------------------------------------------------
   /// Reuses served by loading a result from the cold tier.
   std::atomic<int64_t> cold_hits{0};
@@ -159,6 +176,9 @@ struct RecyclerCounters {
   std::atomic<int64_t> cold_load_errors{0};
   /// Restart orphans adopted by newly inserted graph nodes.
   std::atomic<int64_t> cold_adoptions{0};
+  /// Cold entries consumed as a filtered slice (the selection ran on the
+  /// encoded image; only in-range rows were materialized).
+  std::atomic<int64_t> cold_slice_loads{0};
   /// Uncompressed vs. on-disk bytes of spill files written (ratio =
   /// column-compression win; raw == stored when compress_spill is off).
   std::atomic<int64_t> cold_spill_raw_bytes{0};
@@ -204,6 +224,12 @@ class PreparedQuery {
   /// chosen, so cold-hit accounting goes through this set rather than
   /// the node's state at consumption time).
   std::unordered_set<const RGNode*> cold_loaded_;
+  /// As-of snapshots of every base table the query reads, captured once
+  /// at Prepare. Freshness checks compare cached-entry stamps against
+  /// these, and execution pins scans to them (pins_), so one query sees
+  /// one consistent version of each table even while appends land.
+  std::map<std::string, TableSnapshot> snapshots_;
+  Executor::TablePins pins_;
   int64_t query_id_ = 0;
 };
 
@@ -237,6 +263,15 @@ class Recycler {
 
   /// Evicts every cached result that depends on `table` (update commit).
   void InvalidateTable(const std::string& table);
+
+  /// Append hook (Database::AppendTable, after Catalog::AppendRows):
+  /// walks every materialized entry depending on `table` and keeps the
+  /// ones delta maintenance can refresh (stamped, same epoch, delta-
+  /// eligible shape); everything else — unstamped legacy entries, nodes
+  /// with joins or non-decomposable roots — is evicted as a hard
+  /// invalidation. With enable_delta_maintenance off, behaves like
+  /// InvalidateTable.
+  void OnTableAppended(const std::string& table);
 
   /// Evicts everything from the cache (simulated refresh, Fig. 6).
   void FlushCache();
@@ -309,6 +344,30 @@ class Recycler {
   // --- rewriting --------------------------------------------------------
   PlanPtr RewriteForReuse(MNode* m, const PlanPtr& plan,
                           PreparedQuery* prepared);
+  /// Append-stale exact match: builds the delta rewrite (stitch or
+  /// aggregate merge) over `snapshot`, drops the superseded cache entry,
+  /// and marks `m` stitched so InjectStores re-admits the refreshed
+  /// result at the new high-water mark. Returns null when the entry is
+  /// not delta-eligible (caller evicts and falls through to a miss).
+  /// Caller must not hold the graph lock.
+  PlanPtr TryDeltaRewrite(MNode* m, const PlanPtr& plan, RGNode* g,
+                          TablePtr snapshot, const StaleWindow& window,
+                          PreparedQuery* prepared);
+  /// Drops a superseded (append-stale) entry from both tiers without
+  /// eviction-side h/counter noise: its data lives on in the delta
+  /// rewrite that replaces it. Caller must not hold the graph lock.
+  void DropSupersededEntry(RGNode* g);
+  /// Freshness of `node`'s materialized result against the query's
+  /// pinned snapshots (stamps are read under the node's mat shard
+  /// mutex). Caller may hold the shared graph lock but not cache_mu_.
+  Freshness NodeFreshness(RGNode* node, const PreparedQuery* prepared,
+                          StaleWindow* window);
+  /// Satellite of cold-tier restart recovery: before a derived-reuse
+  /// (subsumption/stitch) candidate scan over `child_gnode`'s parents,
+  /// adopt any restart orphans those parents still have on disk so they
+  /// are servable without an exact re-insertion. Caller must not hold
+  /// the graph lock; takes it exclusive briefly when orphans exist.
+  void MaybeAdoptOrphanParents(RGNode* child_gnode);
   void InjectStores(MNode* m, PreparedQuery* prepared, bool in_store_chain);
   /// Shared admission decision for one store candidate: history-based
   /// materialization when measured (benefit admit at h >= 1, gated by
@@ -372,6 +431,19 @@ class Recycler {
 
   /// The cold half of SnapshotOrReadmit.
   TablePtr ReadmitCold(RGNode* node);
+
+  /// SnapshotOrReadmit variant for subsumption/stitch candidates: a hot
+  /// candidate returns its snapshot as usual, but a kCold candidate with
+  /// a usable range spec (`spec` non-null and its mapped_column among the
+  /// node's outputs) is loaded as a *filtered slice* — the selection runs
+  /// on the encoded spill image and only in-range rows materialize. The
+  /// slice is NOT promoted to the hot tier (it is a partial result) and
+  /// the entry stays kCold. Sound for derived reuse only: rows the filter
+  /// removes are rows the rewrite's clip/residual compensation would
+  /// remove anyway. Falls back to SnapshotOrReadmit when slicing is
+  /// impossible. Caller must NOT hold the graph lock.
+  TablePtr SnapshotOrLoadSlice(RGNode* node, const RangeSpec* spec,
+                               PreparedQuery* prepared, bool* from_cold);
 
   /// Probes the cold tier's orphan map for a restart image of the just-
   /// inserted `node` and adopts it (re-seed stats, kCold state, interval

@@ -23,8 +23,58 @@ Status Catalog::ReplaceTable(const std::string& name, TablePtr table) {
     return Status::NotFound("table not registered: " + name);
   }
   it->second.table = table;
+  ++it->second.epoch;
   it->second.column_stats.clear();
   ComputeStats(*table, &it->second.column_stats);
+  return Status::OK();
+}
+
+Status Catalog::AppendRows(const std::string& name, const Table& delta) {
+  // Serialize appends; the O(n) copy and stats pass run outside mu_ so
+  // concurrent readers never stall behind an append.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  TablePtr base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table not registered: " + name);
+    }
+    base = it->second.table;
+  }
+  if (!(delta.schema() == base->schema())) {
+    return Status::InvalidArgument("append schema mismatch for table " + name);
+  }
+  auto grown = MakeTable(base->schema());
+  if (base->num_rows() > 0) {
+    Batch old_rows;
+    old_rows.num_rows = base->num_rows();
+    for (int c = 0; c < base->num_columns(); ++c) {
+      old_rows.columns.push_back(base->column(c));
+    }
+    grown->AppendBatch(old_rows);
+  }
+  if (delta.num_rows() > 0) {
+    Batch delta_rows;
+    delta_rows.num_rows = delta.num_rows();
+    for (int c = 0; c < delta.num_columns(); ++c) {
+      delta_rows.columns.push_back(delta.column(c));
+    }
+    grown->AppendBatch(delta_rows);
+  }
+  std::map<std::string, ColumnStats> stats;
+  ComputeStats(*grown, &stats);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end() || it->second.table != base) {
+      // The entry was dropped or ReplaceTable swapped the base out from
+      // under the copy; resurrecting pre-replace rows would corrupt it.
+      return Status::Internal("table replaced during append: " + name);
+    }
+    it->second.table = std::move(grown);
+    it->second.column_stats = std::move(stats);
+  }
   return Status::OK();
 }
 
@@ -32,6 +82,17 @@ TablePtr Catalog::GetTable(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.table;
+}
+
+TableSnapshot Catalog::Snapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return TableSnapshot{};
+  TableSnapshot snap;
+  snap.table = it->second.table;
+  snap.epoch = it->second.epoch;
+  snap.rows = it->second.table->num_rows();
+  return snap;
 }
 
 bool Catalog::HasTable(const std::string& name) const {

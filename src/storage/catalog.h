@@ -21,10 +21,26 @@ struct ColumnStats {
   Datum max_value;
 };
 
+/// A consistent view of one catalog entry at a point in time: the table
+/// object, its replace-epoch, and its append high-water mark (row count).
+/// Published tables are immutable, so holding the TablePtr pins the
+/// snapshot's data even while concurrent appends swap in grown versions.
+struct TableSnapshot {
+  TablePtr table;
+  /// Bumped by ReplaceTable; appends preserve it. Two snapshots of the
+  /// same name are append-comparable iff their epochs match.
+  uint64_t epoch = 0;
+  /// table->num_rows() at snapshot time (the version under append-only
+  /// mutation, see DESIGN.md "Delta maintenance").
+  int64_t rows = 0;
+};
+
 /// Thread-safe registry of base tables.
 ///
 /// The catalog is read-mostly: benchmarks register tables once and then
-/// run concurrent query streams against them.
+/// run concurrent query streams against them. Append-only growth goes
+/// through AppendRows (copy-on-append + pointer swap), which keeps every
+/// previously handed-out TablePtr valid as an immutable as-of snapshot.
 class Catalog {
  public:
   Catalog() = default;
@@ -33,10 +49,23 @@ class Catalog {
   Status RegisterTable(const std::string& name, TablePtr table);
 
   /// Replaces a registered table (used by update/invalidation tests).
+  /// Bumps the entry's epoch: cached results stamped under the old epoch
+  /// become incomparable and must be hard-invalidated.
   Status ReplaceTable(const std::string& name, TablePtr table);
+
+  /// Appends `delta`'s rows to table `name` without invalidating readers:
+  /// builds a grown copy off-lock and swaps it in (the epoch is kept, the
+  /// high-water mark advances by delta.num_rows()). Concurrent appends to
+  /// the same catalog serialize; a ReplaceTable racing the copy aborts
+  /// the append. Schema of `delta` must match the registered table.
+  Status AppendRows(const std::string& name, const Table& delta);
 
   /// Looks up a table; nullptr if absent.
   TablePtr GetTable(const std::string& name) const;
+
+  /// Atomically captures {table, epoch, rows} for `name`; a default
+  /// (null-table) snapshot if absent.
+  TableSnapshot Snapshot(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
 
@@ -49,6 +78,7 @@ class Catalog {
  private:
   struct Entry {
     TablePtr table;
+    uint64_t epoch = 1;
     std::map<std::string, ColumnStats> column_stats;
   };
 
@@ -56,6 +86,11 @@ class Catalog {
                            std::map<std::string, ColumnStats>* out);
 
   mutable std::mutex mu_;
+  /// Serializes AppendRows calls so two concurrent appends cannot both
+  /// copy the same base and lose rows. Ordered before mu_ (an append
+  /// takes append_mu_, then mu_ briefly at each end); no code path takes
+  /// append_mu_ while holding mu_.
+  std::mutex append_mu_;
   std::map<std::string, Entry> tables_;
 };
 

@@ -39,6 +39,14 @@ std::string SerializeHeader(const SpillFileMeta& meta, uint32_t version) {
   // v2 appends the uncompressed payload size; v1 headers end here (and a
   // v1 reader never sees the field, so the prefix stays byte-compatible).
   if (version >= 2) PutU64(&h, static_cast<uint64_t>(meta.raw_bytes));
+  // v3 appends the base-table row high-water marks (delta maintenance).
+  if (version >= 3) {
+    PutU32(&h, static_cast<uint32_t>(meta.table_versions.size()));
+    for (const auto& [table, rows] : meta.table_versions) {
+      PutString(&h, table);
+      PutU64(&h, static_cast<uint64_t>(rows));
+    }
+  }
   return h;
 }
 
@@ -85,6 +93,21 @@ Status ParseHeader(const std::string& buf, uint32_t version,
       return Status::Internal("spill header truncated (raw size)");
     }
     meta->raw_bytes = static_cast<int64_t>(raw);
+  }
+  if (version >= 3) {
+    uint32_t nversions = 0;
+    if (!c.GetU32(&nversions)) {
+      return Status::Internal("spill header truncated (table versions)");
+    }
+    for (uint32_t i = 0; i < nversions; ++i) {
+      std::string t;
+      uint64_t rows = 0;
+      if (!c.GetString(&t) || !c.GetU64(&rows)) {
+        return Status::Internal("spill header truncated in version list");
+      }
+      meta->table_versions.emplace_back(std::move(t),
+                                        static_cast<int64_t>(rows));
+    }
   }
   return Status::OK();
 }
@@ -379,7 +402,8 @@ Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
   for (int i = 0; i < 4; ++i) version |= static_cast<uint32_t>(fixed[i]) << (8 * i);
   for (int i = 0; i < 8; ++i)
     header_len |= static_cast<uint64_t>(fixed[4 + i]) << (8 * i);
-  if (version != kSpillFormatVersionV1 && version != kSpillFormatVersion) {
+  if (version != kSpillFormatVersionV1 && version != kSpillFormatVersionV2 &&
+      version != kSpillFormatVersion) {
     std::fclose(f);
     return Status::Internal(StrFormat("%s: unsupported spill version %u",
                                       path.c_str(), version));
@@ -406,12 +430,58 @@ Status OpenAndReadHeader(const std::string& path, std::FILE** f_out,
   return Status::OK();
 }
 
+/// Owning copy of the rows in `sel` (ascending, in-bounds — produced by
+/// SelectRangeEncoded over the same column image).
+ColumnPtr GatherRows(const ColumnVector& col, const std::vector<int32_t>& sel) {
+  ColumnPtr out = MakeColumn(col.type());
+  switch (col.type()) {
+    case TypeId::kBool: {
+      const uint8_t* src = col.Raw<uint8_t>();
+      auto& v = out->Data<uint8_t>();
+      v.reserve(sel.size());
+      for (int32_t r : sel) v.push_back(src[r]);
+      break;
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      const int32_t* src = col.Raw<int32_t>();
+      auto& v = out->Data<int32_t>();
+      v.reserve(sel.size());
+      for (int32_t r : sel) v.push_back(src[r]);
+      break;
+    }
+    case TypeId::kInt64: {
+      const int64_t* src = col.Raw<int64_t>();
+      auto& v = out->Data<int64_t>();
+      v.reserve(sel.size());
+      for (int32_t r : sel) v.push_back(src[r]);
+      break;
+    }
+    case TypeId::kDouble: {
+      const double* src = col.Raw<double>();
+      auto& v = out->Data<double>();
+      v.reserve(sel.size());
+      for (int32_t r : sel) v.push_back(src[r]);
+      break;
+    }
+    case TypeId::kString: {
+      const std::string* src = col.Raw<std::string>();
+      auto& v = out->Data<std::string>();
+      v.reserve(sel.size());
+      for (int32_t r : sel) v.push_back(src[r]);
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Status WriteSpillFile(const std::string& path, const Table& table,
                       const SpillFileMeta& meta,
                       const SpillWriteOptions& options) {
   if (options.version != kSpillFormatVersionV1 &&
+      options.version != kSpillFormatVersionV2 &&
       options.version != kSpillFormatVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported spill write version %u", options.version));
@@ -545,6 +615,123 @@ Status ReadSpillTable(const std::string& path, SpillFileMeta* meta,
   std::fclose(f);
   if (st.ok()) *out = std::move(table);
   return st;
+}
+
+Status ReadSpillTableFiltered(const std::string& path, SpillFileMeta* meta,
+                              int filter_column, const ColumnInterval& range,
+                              TablePtr* out) {
+  std::FILE* f = nullptr;
+  uint64_t sum = 0;
+  RDB_RETURN_NOT_OK(OpenAndReadHeader(path, &f, meta, &sum));
+  if (meta->format_version < 2) {
+    // v1 stores raw images only; there is no encoded form to filter on.
+    // Recoverable: the caller falls back to ReadSpillTable.
+    std::fclose(f);
+    return Status::Internal(
+        StrFormat("%s: v1 spill file has no encoded image", path.c_str()));
+  }
+  if (filter_column < 0 ||
+      filter_column >= static_cast<int>(meta->column_types.size())) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        StrFormat("%s: filter column %d out of range", path.c_str(),
+                  filter_column));
+  }
+
+  // Buffer the payload and verify the checksum before touching any codec
+  // (same discipline as ReadSpillTable's v2 branch).
+  const long payload_start = std::ftell(f);
+  Status st = Status::OK();
+  if (payload_start < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::Internal(
+        StrFormat("%s: cannot size spill file", path.c_str()));
+  }
+  const int64_t payload_bytes = std::ftell(f) - payload_start - 8;
+  std::fseek(f, payload_start, SEEK_SET);
+  if (payload_bytes < 0) {
+    st = Status::Internal(StrFormat("%s: spill file truncated", path.c_str()));
+  }
+  std::string payload;
+  if (st.ok()) {
+    payload.resize(static_cast<size_t>(payload_bytes));
+    if (payload_bytes > 0 &&
+        !ReadChecked(f, payload.data(), payload.size(), &sum)) {
+      st = Status::Internal(
+          StrFormat("%s: spill payload truncated", path.c_str()));
+    }
+  }
+  if (st.ok()) {
+    unsigned char sumbuf[8];
+    if (std::fread(sumbuf, 1, 8, f) != 8) {
+      st = Status::Internal(
+          StrFormat("%s: spill checksum missing", path.c_str()));
+    } else {
+      uint64_t stored = 0;
+      for (int i = 0; i < 8; ++i)
+        stored |= static_cast<uint64_t>(sumbuf[i]) << (8 * i);
+      if (stored != sum) {
+        st = Status::Internal(
+            StrFormat("%s: spill checksum mismatch", path.c_str()));
+      }
+    }
+  }
+  std::fclose(f);
+  RDB_RETURN_NOT_OK(st);
+
+  // Parse the per-column frames without decoding anything yet.
+  if (meta->num_rows < 0) {
+    return Status::Internal("spill header has negative row count");
+  }
+  std::vector<EncodedColumn> encs;
+  Cursor c{reinterpret_cast<const unsigned char*>(payload.data()),
+           payload.size()};
+  for (TypeId type : meta->column_types) {
+    uint8_t encoding = 0;
+    uint64_t len = 0;
+    if (!c.GetU8(&encoding) || !c.GetU64(&len) || len > c.remaining()) {
+      return Status::Internal(
+          StrFormat("%s: spill column block truncated", path.c_str()));
+    }
+    if (encoding > static_cast<uint8_t>(ColumnEncoding::kFor)) {
+      return Status::Internal(
+          StrFormat("%s: spill column has unknown encoding %d", path.c_str(),
+                    (int)encoding));
+    }
+    EncodedColumn enc;
+    enc.encoding = static_cast<ColumnEncoding>(encoding);
+    enc.type = type;
+    enc.num_rows = meta->num_rows;
+    enc.payload.assign(reinterpret_cast<const char*>(c.p + c.pos),
+                       static_cast<size_t>(len));
+    c.pos += static_cast<size_t>(len);
+    encs.push_back(std::move(enc));
+  }
+  if (c.remaining() != 0) {
+    return Status::Internal(
+        StrFormat("%s: spill payload has trailing bytes", path.c_str()));
+  }
+
+  // Selection on the encoded filter column, then decode + gather the
+  // rest. Ascending selection preserves row order, so the result is
+  // bit-identical to a full load followed by the same range filter.
+  std::vector<int32_t> sel;
+  RDB_RETURN_NOT_OK(SelectRangeEncoded(encs[filter_column], range, &sel));
+  std::vector<Field> fields;
+  for (size_t i = 0; i < meta->column_names.size(); ++i) {
+    fields.push_back({meta->column_names[i], meta->column_types[i]});
+  }
+  TablePtr table = MakeTable(Schema(std::move(fields)));
+  Batch batch;
+  batch.num_rows = static_cast<int64_t>(sel.size());
+  for (const EncodedColumn& enc : encs) {
+    ColumnPtr full;
+    RDB_RETURN_NOT_OK(DecodeColumn(enc, &full));
+    batch.columns.push_back(GatherRows(*full, sel));
+  }
+  table->AppendBatch(batch);
+  *out = std::move(table);
+  return Status::OK();
 }
 
 }  // namespace recycledb

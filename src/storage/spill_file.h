@@ -32,19 +32,24 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/interval.h"
 #include "common/status.h"
 #include "storage/table.h"
 
 namespace recycledb {
 
 /// Current spill format version; bump on any layout change. Readers
-/// accept kSpillFormatVersionV1 files too (pre-compression cold tiers
-/// survive an upgrade in place); anything else is rejected with a
-/// recoverable Status.
+/// accept kSpillFormatVersionV1 (pre-compression) and V2 (no base-table
+/// version stamps) files too, so older cold tiers survive an upgrade in
+/// place; anything else is rejected with a recoverable Status. v3
+/// appends the per-base-table row high-water marks the result was
+/// computed at (delta maintenance; see recycler/delta.h).
 inline constexpr uint32_t kSpillFormatVersionV1 = 1;
-inline constexpr uint32_t kSpillFormatVersion = 2;
+inline constexpr uint32_t kSpillFormatVersionV2 = 2;
+inline constexpr uint32_t kSpillFormatVersion = 3;
 
 /// Everything the cold tier must know about a spilled result without
 /// touching its payload: the restart-stable identity plus the reference
@@ -71,9 +76,17 @@ struct SpillFileMeta {
   /// overwrite this with the on-disk value).
   uint32_t format_version = kSpillFormatVersion;
   /// Uncompressed payload size in bytes (the v1 column image this file
-  /// would occupy without compression). Written by WriteSpillFile for v2
-  /// files; 0 when reading a v1 file.
+  /// would occupy without compression). Written by WriteSpillFile for
+  /// v2+ files; 0 when reading a v1 file.
   int64_t raw_bytes = 0;
+  /// Per-base-table row high-water marks at computation time (v3+): the
+  /// result was computed from rows [0, rows) of each named table.
+  /// Replace-epochs are process-local and deliberately NOT persisted;
+  /// adoption re-anchors the stamps against the live catalog and drops
+  /// images whose marks exceed the current table (shrunk/replaced base).
+  /// Empty when reading a v1/v2 file (such entries stay unstamped and
+  /// appends hard-invalidate them).
+  std::vector<std::pair<std::string, int64_t>> table_versions;
 };
 
 /// Writer knobs; defaults produce a compressed v2 file.
@@ -103,5 +116,19 @@ Status ReadSpillMeta(const std::string& path, SpillFileMeta* meta);
 /// files yield a recoverable error Status, never an abort.
 Status ReadSpillTable(const std::string& path, SpillFileMeta* meta,
                       TablePtr* out);
+
+/// Like ReadSpillTable, but materializes only the rows whose value in
+/// column `filter_column` (index into the file's columns) falls in
+/// `range`: the selection is computed on the *encoded* column image
+/// (SelectRangeEncoded — one comparison per run/dictionary entry) and
+/// the remaining columns are gathered through it, so a cold slice
+/// consumed by a subsumption/stitch rewrite never materializes rows the
+/// rewrite would filter out anyway. Row order is preserved, so the
+/// result is bit-identical to a full load followed by the same range
+/// filter. v1 files (no encoded image) and out-of-range column indexes
+/// return a recoverable error; the caller falls back to ReadSpillTable.
+Status ReadSpillTableFiltered(const std::string& path, SpillFileMeta* meta,
+                              int filter_column, const ColumnInterval& range,
+                              TablePtr* out);
 
 }  // namespace recycledb

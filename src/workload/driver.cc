@@ -71,6 +71,18 @@ int64_t RunReport::TotalColdHits() const {
   return n;
 }
 
+int64_t RunReport::TotalDeltaReuses() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_delta_reuses;
+  return n;
+}
+
+int64_t RunReport::TotalAggMerges() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_agg_merges;
+  return n;
+}
+
 int64_t RunReport::TotalBlocksScanned() const {
   int64_t n = 0;
   for (const auto& r : records) n += r.trace.blocks_scanned;
@@ -149,6 +161,8 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
     ss.subsumption_reuses += r.trace.num_subsumption_reuses;
     ss.partial_reuses += r.trace.num_partial_reuses;
     ss.cold_hits += r.trace.num_cold_hits;
+    ss.delta_reuses += r.trace.num_delta_reuses;
+    ss.agg_merges += r.trace.num_agg_merges;
     ss.materializations += r.trace.num_materialized;
     ss.stalls += r.trace.num_stalls;
     ss.blocks_scanned += r.trace.blocks_scanned;
@@ -228,6 +242,12 @@ std::string FormatTrace(const RunReport& report) {
     if (r.trace.num_cold_hits > 0) {
       events += StrFormat("(cold:%d) ", r.trace.num_cold_hits);
     }
+    if (r.trace.num_delta_reuses > 0) {
+      events += StrFormat("(delta:%d) ", r.trace.num_delta_reuses);
+    }
+    if (r.trace.num_agg_merges > 0) {
+      events += StrFormat("(agg-merge:%d) ", r.trace.num_agg_merges);
+    }
     if (r.trace.num_materialized > 0) {
       events += StrFormat("materialized:%d ", r.trace.num_materialized);
     }
@@ -266,10 +286,12 @@ std::string FormatSummary(const RunReport& report) {
       report.LatencyPercentileMs(50), report.LatencyPercentileMs(95),
       report.LatencyPercentileMs(99));
   out += StrFormat(
-      "reuse_rate=%.1f%% reuses=%lld cold_hits=%lld materializations=%lld "
-      "stalls=%lld\n",
+      "reuse_rate=%.1f%% reuses=%lld cold_hits=%lld delta_reuses=%lld "
+      "agg_merges=%lld materializations=%lld stalls=%lld\n",
       100.0 * report.ReuseRate(), static_cast<long long>(report.TotalReuses()),
       static_cast<long long>(report.TotalColdHits()),
+      static_cast<long long>(report.TotalDeltaReuses()),
+      static_cast<long long>(report.TotalAggMerges()),
       static_cast<long long>(report.TotalMaterializations()),
       static_cast<long long>(report.TotalStalls()));
   const int64_t scanned = report.TotalBlocksScanned();

@@ -55,6 +55,12 @@ struct StreamStats {
   int64_t partial_reuses = 0;
   /// Reuses served from the on-disk cold tier (subset of reuses).
   int64_t cold_hits = 0;
+  /// Reuses served by delta maintenance over append-stale entries
+  /// (subset of reuses).
+  int64_t delta_reuses = 0;
+  /// Delta reuses merging cached aggregate state with the delta window
+  /// (subset of delta_reuses).
+  int64_t agg_merges = 0;
   int64_t materializations = 0;
   int64_t stalls = 0;
   /// Scan blocks read vs. skipped by zone-map pruning.
@@ -87,6 +93,10 @@ struct RunReport {
   int64_t TotalMaterializations() const;
   /// Reuses served by cold-tier re-admission across all streams.
   int64_t TotalColdHits() const;
+  /// Reuses served by delta maintenance across all streams.
+  int64_t TotalDeltaReuses() const;
+  /// Delta reuses served by aggregate-state merges across all streams.
+  int64_t TotalAggMerges() const;
   /// Scan blocks read / skipped by zone-map pruning across all streams.
   int64_t TotalBlocksScanned() const;
   int64_t TotalBlocksPruned() const;

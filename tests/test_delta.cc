@@ -1,0 +1,324 @@
+// Delta maintenance tests: cached results kept valid under appends by
+// stitching the cached prefix with a bounded scan of the appended window
+// (or merging cached aggregate state with a delta-window aggregate).
+// Results served through the delta path must be bit-identical to a
+// recycler-bypass re-execution; the aggregate-merge path must touch zero
+// base-table blocks before the cached high-water mark.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/database.h"
+#include "common/string_util.h"
+#include "test_util.h"
+#include "workload/rollup.h"
+
+namespace recycledb {
+namespace {
+
+/// Exact row rendering (doubles at full precision: these tests assert
+/// bit-identity, not approximate equality). The scenario generators use
+/// integer-valued doubles, so partial-sum merging stays exact.
+std::vector<std::string> BitRows(const Table& t, bool ordered) {
+  std::vector<std::string> rows;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      const Datum& d = t.Get(r, c);
+      if (std::holds_alternative<double>(d)) {
+        key += StrFormat("%.17g", std::get<double>(d));
+      } else {
+        key += DatumToString(d);
+      }
+      key += "|";
+    }
+    rows.push_back(std::move(key));
+  }
+  if (!ordered) std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+DatabaseOptions DeltaOptions(bool delta_on = true) {
+  DatabaseOptions options;
+  options.recycler.mode = RecyclerMode::kSpeculation;
+  options.recycler.enable_delta_maintenance = delta_on;
+  return options;
+}
+
+/// Ground truth: the same statement through a recycler-bypass session.
+std::vector<std::string> Truth(Database* db, const std::string& sql,
+                               bool ordered) {
+  SessionOptions bypass;
+  bypass.bypass_recycler = true;
+  auto session = db->Connect(bypass);
+  Result r = session->Sql(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return BitRows(*r.table(), ordered);
+}
+
+TEST(DeltaTest, AggMergeSumCountAvgBitIdenticalZeroRescan) {
+  auto db = Database::OpenOrDie(DeltaOptions());
+  rollup::RollupOptions ropt;
+  ropt.initial_rows = 8192;  // 8 zone-map blocks
+  ASSERT_TRUE(rollup::Setup(db.get(), ropt).ok());
+  const std::string q =
+      "SELECT sensor, SUM(value) AS total, COUNT(value) AS n,"
+      " AVG(value) AS mean FROM events GROUP BY sensor";
+
+  Result seed = db->Sql(q);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  EXPECT_GE(seed.trace().blocks_scanned, 8);
+
+  // Three append/query rounds: the refreshed result re-admits at the new
+  // high-water mark, so every round merges only its own delta window.
+  int64_t rows = ropt.initial_rows;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(
+        db->AppendTable("events", *rollup::MakeBatch(512, rows, ropt)).ok());
+    rows += 512;
+    Result merged = db->Sql(q);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged.delta_reuses(), 1) << "round " << round;
+    EXPECT_EQ(merged.agg_merges(), 1) << "round " << round;
+    // Zero base rescans: one block for the cached aggregate-state view
+    // (CachedScan runs on the ScanOp machinery) plus the sub-block delta
+    // window — never the 8+ base blocks below the cached mark.
+    EXPECT_LE(merged.trace().blocks_scanned, 2) << "round " << round;
+    EXPECT_LT(merged.trace().blocks_scanned, seed.trace().blocks_scanned);
+    EXPECT_EQ(BitRows(*merged.table(), false), Truth(db.get(), q, false));
+  }
+  EXPECT_GE(db->counters().delta_hits.load(), 3);
+  EXPECT_GE(db->counters().agg_merges.load(), 3);
+}
+
+TEST(DeltaTest, GroupedMinMaxDuplicateExtremes) {
+  auto db = Database::OpenOrDie(DeltaOptions());
+  Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+  TablePtr t = MakeTable(s);
+  for (int i = 0; i < 2000; ++i) {
+    t->AppendRow({int32_t{i % 2}, static_cast<double>(i % 500)});
+  }
+  ASSERT_TRUE(db->CreateTable("m", t).ok());
+  const std::string q =
+      "SELECT k, MIN(v) AS lo, MAX(v) AS hi FROM m GROUP BY k";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  // Delta duplicates both extremes of group 0 (merge must not double
+  // them away) and pushes a new maximum for group 1.
+  TablePtr delta = MakeTable(s);
+  delta->AppendRow({int32_t{0}, 0.0});
+  delta->AppendRow({int32_t{0}, 499.0});
+  delta->AppendRow({int32_t{1}, 1000.0});
+  ASSERT_TRUE(db->AppendTable("m", *delta).ok());
+
+  Result merged = db->Sql(q);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.delta_reuses(), 1);
+  EXPECT_EQ(merged.agg_merges(), 1);
+  EXPECT_EQ(BitRows(*merged.table(), false), Truth(db.get(), q, false));
+}
+
+TEST(DeltaTest, GroupedAggDeltaMissingGroups) {
+  // A delta touching only one group must not disturb the others (grouped
+  // aggregation emits no row for a group absent from the delta window).
+  auto db = Database::OpenOrDie(DeltaOptions());
+  Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+  TablePtr t = MakeTable(s);
+  for (int i = 0; i < 3000; ++i) {
+    t->AppendRow({int32_t{i % 3}, static_cast<double>(i % 100)});
+  }
+  ASSERT_TRUE(db->CreateTable("m", t).ok());
+  const std::string q =
+      "SELECT k, MIN(v) AS lo, MAX(v) AS hi, SUM(v) AS sv FROM m GROUP BY k";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  TablePtr delta = MakeTable(s);
+  delta->AppendRow({int32_t{0}, 7.0});
+  ASSERT_TRUE(db->AppendTable("m", *delta).ok());
+
+  Result merged = db->Sql(q);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.delta_reuses(), 1);
+  EXPECT_EQ(BitRows(*merged.table(), false), Truth(db.get(), q, false));
+}
+
+TEST(DeltaTest, EmptyDeltaStaysExactHit) {
+  // A zero-row append leaves the high-water mark unchanged: the cached
+  // entry is still fresh and serves as a plain exact hit.
+  auto db = Database::OpenOrDie(DeltaOptions());
+  rollup::RollupOptions ropt;
+  ropt.initial_rows = 2048;
+  ASSERT_TRUE(rollup::Setup(db.get(), ropt).ok());
+  const std::string q =
+      "SELECT sensor, SUM(value) AS total FROM events GROUP BY sensor";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  TablePtr empty = rollup::MakeBatch(0, 2048, ropt);
+  ASSERT_TRUE(db->AppendTable("events", *empty).ok());
+
+  Result again = db->Sql(q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(again.reuses(), 1);
+  EXPECT_EQ(again.delta_reuses(), 0);
+  EXPECT_EQ(BitRows(*again.table(), false), Truth(db.get(), q, false));
+}
+
+TEST(DeltaTest, GlobalMinMaxNotMergedButCorrect) {
+  // Global (ungrouped) MIN/MAX is excluded from merging — an empty delta
+  // group would union the operator's pad row into the result — so the
+  // append evicts the entry and the query re-executes correctly.
+  auto db = Database::OpenOrDie(DeltaOptions());
+  Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+  TablePtr t = MakeTable(s);
+  for (int i = 0; i < 2000; ++i) {
+    t->AppendRow({int32_t{i % 2}, static_cast<double>(i % 500)});
+  }
+  ASSERT_TRUE(db->CreateTable("m", t).ok());
+  const std::string q = "SELECT MIN(v) AS lo, MAX(v) AS hi FROM m";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  TablePtr delta = MakeTable(s);
+  delta->AppendRow({int32_t{0}, -5.0});
+  ASSERT_TRUE(db->AppendTable("m", *delta).ok());
+
+  Result r = db->Sql(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.delta_reuses(), 0);
+  EXPECT_EQ(BitRows(*r.table(), false), Truth(db.get(), q, false));
+}
+
+TEST(DeltaTest, SelectChainStitchPreservesRowOrder) {
+  auto db = Database::OpenOrDie(DeltaOptions());
+  rollup::RollupOptions ropt;
+  ropt.initial_rows = 6000;
+  ASSERT_TRUE(rollup::Setup(db.get(), ropt).ok());
+  const std::string q =
+      "SELECT ts, sensor, value FROM events WHERE value >= 900.0";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  int64_t rows = ropt.initial_rows;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(
+        db->AppendTable("events", *rollup::MakeBatch(700, rows, ropt)).ok());
+    rows += 700;
+    Result stitched = db->Sql(q);
+    ASSERT_TRUE(stitched.ok()) << stitched.status().ToString();
+    EXPECT_EQ(stitched.delta_reuses(), 1) << "round " << round;
+    EXPECT_EQ(stitched.agg_merges(), 0) << "round " << round;
+    // Ordered comparison: cached prefix then delta window IS scan order.
+    EXPECT_EQ(BitRows(*stitched.table(), true), Truth(db.get(), q, true));
+  }
+}
+
+TEST(DeltaTest, RollupScenarioAllShapesBitIdentical) {
+  // The full time-series rollup set (grouped SUM/COUNT/AVG/MIN/MAX and
+  // overlapping threshold windows) across several append rounds: every
+  // repeat after the seed round must hit, every result bit-identical.
+  auto db = Database::OpenOrDie(DeltaOptions());
+  rollup::RollupOptions ropt;
+  ropt.initial_rows = 5000;
+  ASSERT_TRUE(rollup::Setup(db.get(), ropt).ok());
+  std::vector<std::string> queries = rollup::RollupSql(ropt);
+
+  for (const std::string& q : queries) {
+    ASSERT_TRUE(db->Sql(q).ok());
+  }
+  int64_t rows = ropt.initial_rows;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(
+        db->AppendTable("events", *rollup::MakeBatch(333, rows, ropt)).ok());
+    rows += 333;
+    for (const std::string& q : queries) {
+      Result r = db->Sql(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r.recycled()) << q << " round " << round;
+      EXPECT_EQ(BitRows(*r.table(), false), Truth(db.get(), q, false)) << q;
+    }
+  }
+  EXPECT_GT(db->counters().delta_hits.load(), 0);
+  EXPECT_GT(db->counters().agg_merges.load(), 0);
+}
+
+TEST(DeltaTest, ReplaceTableStillHardInvalidates) {
+  auto db = Database::OpenOrDie(DeltaOptions());
+  Schema s({{"k", TypeId::kInt32}, {"v", TypeId::kDouble}});
+  TablePtr t = MakeTable(s);
+  for (int i = 0; i < 1000; ++i) t->AppendRow({int32_t{i % 4}, 1.0});
+  ASSERT_TRUE(db->CreateTable("m", t).ok());
+  const std::string q = "SELECT k, SUM(v) AS sv FROM m GROUP BY k";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  TablePtr t2 = MakeTable(s);
+  for (int i = 0; i < 1000; ++i) t2->AppendRow({int32_t{i % 4}, 2.0});
+  ASSERT_TRUE(db->ReplaceTable("m", t2).ok());
+
+  Result r = db->Sql(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.reuses(), 0);
+  EXPECT_EQ(BitRows(*r.table(), false), Truth(db.get(), q, false));
+}
+
+TEST(DeltaTest, ConcurrentAppendsVsDeltaScans) {
+  // TSan stress: one writer appending batches races readers whose
+  // repeated rollup is served through the delta path. Every result must
+  // be a consistent prefix snapshot: the row count it reflects is
+  // initial + k*batch for an integral k, and SUM(ts) over the dense
+  // 0..T-1 timestamps must equal T*(T-1)/2 — a torn read mixing two
+  // snapshots cannot satisfy both.
+  constexpr int64_t kInitial = 4096;
+  constexpr int64_t kBatch = 256;
+  constexpr int kAppends = 20;
+  auto db = Database::OpenOrDie(DeltaOptions());
+  rollup::RollupOptions ropt;
+  ropt.initial_rows = kInitial;
+  ASSERT_TRUE(rollup::Setup(db.get(), ropt).ok());
+  const std::string q =
+      "SELECT sensor, COUNT(value) AS n, SUM(ts) AS st FROM events"
+      " GROUP BY sensor";
+  ASSERT_TRUE(db->Sql(q).ok());
+
+  std::atomic<bool> writer_ok{true};
+  std::thread writer([&] {
+    for (int i = 0; i < kAppends; ++i) {
+      TablePtr batch = rollup::MakeBatch(kBatch, kInitial + i * kBatch, ropt);
+      if (!db->AppendTable("events", *batch).ok()) writer_ok.store(false);
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      auto session = db->Connect();
+      for (int i = 0; i < 40; ++i) {
+        Result res = session->Sql(q);
+        if (!res.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        const Table& t = *res.table();
+        int64_t total = 0, ts_sum = 0;
+        for (int64_t row = 0; row < t.num_rows(); ++row) {
+          total += std::get<int64_t>(t.Get(row, 1));
+          ts_sum += std::get<int64_t>(t.Get(row, 2));
+        }
+        bool prefix = total >= kInitial &&
+                      total <= kInitial + kAppends * kBatch &&
+                      (total - kInitial) % kBatch == 0;
+        bool dense = ts_sum == total * (total - 1) / 2;
+        if (!prefix || !dense) violations.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_TRUE(writer_ok.load());
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace recycledb

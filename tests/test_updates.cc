@@ -64,16 +64,27 @@ TEST_F(UpdateTest, StaleResultsEvictedOnCommit) {
   EXPECT_DOUBLE_EQ(sum_after, 2 * sum_before);
 }
 
-TEST_F(UpdateTest, WithoutInvalidationStaleResultWouldBeServed) {
-  // Documents the contract: invalidation is the caller's commit hook.
+TEST_F(UpdateTest, ReplacedTableDetectedByVersionStamps) {
+  // Delta-maintenance stamps record the replace-epoch a result was
+  // computed at, so even WITHOUT the explicit invalidation hook a
+  // replaced table is detected at lookup time: the stale entry is
+  // dropped instead of served, and the query re-executes fresh.
+  // (InvalidateTable remains the eager commit hook; the stamp check is
+  // the lookup-time backstop.)
   RecyclerConfig cfg;
   cfg.mode = RecyclerMode::kSpeculation;
   Recycler rec(&catalog_, cfg);
-  rec.Execute(SumPlan());
+  ExecResult before = rec.Execute(SumPlan());
   RegisterVersion(2);
   QueryTrace trace;
-  rec.Execute(SumPlan(), &trace);
-  EXPECT_GE(trace.num_reuses, 1);  // stale but served: eviction is explicit
+  ExecResult after = rec.Execute(SumPlan(), &trace);
+  EXPECT_EQ(trace.num_reuses, 0);  // stale entry refused, not served
+  double sum_before = 0, sum_after = 0;
+  for (int64_t r = 0; r < before.table->num_rows(); ++r) {
+    sum_before += std::get<double>(before.table->Get(r, 1));
+    sum_after += std::get<double>(after.table->Get(r, 1));
+  }
+  EXPECT_DOUBLE_EQ(sum_after, 2 * sum_before);
 }
 
 TEST_F(UpdateTest, InvalidationOnlyHitsDependents) {
