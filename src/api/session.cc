@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "plan/canonicalize.h"
 #include "sql/lower.h"
+#include "trace/recorder.h"
 
 namespace recycledb {
 
@@ -37,6 +38,7 @@ Result Session::Sql(std::string_view sql) {
     Record(r);
     return r;
   }
+  NoteStatementOrigin(std::string(sql), ParamMap{});
   return RunPlan(plan);
 }
 
@@ -123,11 +125,11 @@ std::unique_ptr<PreparedStatement> Session::Prepare(std::string_view sql,
     if (status != nullptr) *status = std::move(st);
     return nullptr;
   }
-  return PrepareTemplate(std::move(tmpl), status);
+  return PrepareTemplate(std::move(tmpl), status, std::string(sql));
 }
 
-std::unique_ptr<PreparedStatement> Session::PrepareTemplate(PlanPtr tmpl,
-                                                            Status* status) {
+std::unique_ptr<PreparedStatement> Session::PrepareTemplate(
+    PlanPtr tmpl, Status* status, std::string source_sql) {
   auto fail = [status](Status st) -> std::unique_ptr<PreparedStatement> {
     if (status != nullptr) *status = std::move(st);
     return nullptr;
@@ -161,8 +163,9 @@ std::unique_ptr<PreparedStatement> Session::PrepareTemplate(PlanPtr tmpl,
   Status st = prebind(tmpl);
   if (!st.ok()) return fail(std::move(st));
   if (status != nullptr) *status = Status::OK();
-  return std::unique_ptr<PreparedStatement>(new PreparedStatement(
-      this, std::move(tmpl), std::move(pre_canonical)));
+  return std::unique_ptr<PreparedStatement>(
+      new PreparedStatement(this, std::move(tmpl), std::move(pre_canonical),
+                            std::move(source_sql)));
 }
 
 std::string Session::Explain(const Query& query) const {
@@ -185,6 +188,10 @@ std::string Session::Explain(const Query& query) const {
 Result Session::RunPlan(const PlanPtr& plan) {
   Status st = ValidatePlan(plan, db_->catalog(), nullptr);
   if (!st.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      origin_pending_ = false;
+    }
     Result r = Result::Error(std::move(st));
     Record(r);
     return r;
@@ -210,11 +217,28 @@ Result Session::RunValidatedPlan(const PlanPtr& plan) {
       exec_plan->set_template_hash(plan->template_hash());
     }
   }
+  // Consume the staged SQL origin (if any) before executing: whatever
+  // happens below, the origin belongs to this statement only.
+  trace::TraceRecorder* recorder = nullptr;
+  bool has_origin = false;
+  std::string origin_sql;
+  ParamMap origin_params;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorder = recorder_;
+    has_origin = origin_pending_;
+    origin_pending_ = false;
+    if (has_origin) {
+      origin_sql = std::move(origin_sql_);
+      origin_params = std::move(origin_params_);
+    }
+  }
   Result result;
   if (options_.bypass_recycler) {
     exec_plan->Bind(db_->catalog());
     QueryTrace trace;
     trace.template_hash = exec_plan->template_hash();
+    trace.plan_fingerprint = HashString(exec_plan->TreeFingerprint());
     ExecResult exec = db_->raw_executor().Run(exec_plan);
     trace.blocks_scanned = exec.blocks_scanned;
     trace.blocks_pruned = exec.blocks_pruned;
@@ -225,7 +249,23 @@ Result Session::RunValidatedPlan(const PlanPtr& plan) {
     result = Result::Of(std::move(exec), std::move(trace));
   }
   Record(result);
+  if (recorder != nullptr && has_origin) {
+    recorder->OnStatement(origin_sql, origin_params, result);
+  }
   return result;
+}
+
+void Session::set_recorder(trace::TraceRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorder_ = recorder;
+}
+
+void Session::NoteStatementOrigin(std::string sql, const ParamMap& params) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recorder_ == nullptr) return;
+  origin_pending_ = true;
+  origin_sql_ = std::move(sql);
+  origin_params_ = params;
 }
 
 void Session::Record(const Result& result) {

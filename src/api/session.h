@@ -25,6 +25,10 @@ namespace recycledb {
 
 class Database;
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 /// Per-session configuration overrides (the Database supplies defaults
 /// for everything it does not override).
 struct SessionOptions {
@@ -136,6 +140,14 @@ class Session {
   std::string Explain(const Query& query) const;
 
   // ---- observability ---------------------------------------------------
+  /// Attaches a trace recorder (nullptr detaches). Every successful
+  /// synchronous SQL-originated statement — Sql() calls and prepared-
+  /// statement Execute() rounds — is recorded with its text, bindings,
+  /// reuse decision and result digest. Builder-built queries and async
+  /// Submit() executions are not recorded (they have no replayable SQL
+  /// origin). The recorder must outlive its attachment.
+  void set_recorder(trace::TraceRecorder* recorder);
+
   /// Snapshot of this session's aggregate statistics.
   SessionStats stats() const;
   /// Most recent traces, oldest first (empty if collect_traces is off).
@@ -152,8 +164,10 @@ class Session {
   Session(Database* db, SessionOptions options);
 
   /// Shared Prepare tail: canonicalize + prebind an owned template.
-  std::unique_ptr<PreparedStatement> PrepareTemplate(PlanPtr tmpl,
-                                                     Status* status);
+  /// `source_sql` is the template's SQL text (empty for builder
+  /// templates), kept so recorded executions are replayable.
+  std::unique_ptr<PreparedStatement> PrepareTemplate(
+      PlanPtr tmpl, Status* status, std::string source_sql = std::string());
   /// Validates, binds and runs a plan, recording session stats/traces.
   Result RunPlan(const PlanPtr& plan);
   /// Same, for plans a PreparedStatement already validated.
@@ -162,6 +176,10 @@ class Session {
   /// pool (used by Submit and PreparedStatement::Submit).
   std::future<Result> SubmitInternal(std::function<Result()> fn);
   void Record(const Result& result);
+  /// Stages the SQL origin (statement text + bindings) of the execution
+  /// about to run, for the attached recorder. Consumed (and cleared) by
+  /// the next RunValidatedPlan; cleared by RunPlan on validation failure.
+  void NoteStatementOrigin(std::string sql, const ParamMap& params);
 
   Database* db_;
   SessionOptions options_;
@@ -175,6 +193,12 @@ class Session {
   /// once the ring has wrapped.
   std::vector<QueryTrace> traces_;
   size_t trace_head_ = 0;
+  /// Attached workload recorder (nullptr = off) and the staged SQL
+  /// origin of the execution in flight; all guarded by mu_.
+  trace::TraceRecorder* recorder_ = nullptr;
+  bool origin_pending_ = false;
+  std::string origin_sql_;
+  ParamMap origin_params_;
 };
 
 }  // namespace recycledb

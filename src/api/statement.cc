@@ -9,9 +9,11 @@
 namespace recycledb {
 
 PreparedStatement::PreparedStatement(Session* session, PlanPtr template_plan,
-                                     PlanPtr pre_canonical)
+                                     PlanPtr pre_canonical,
+                                     std::string source_sql)
     : session_(session),
       template_(std::move(template_plan)),
+      source_sql_(std::move(source_sql)),
       pre_canonical_(std::move(pre_canonical)) {
   template_->CollectParams(&params_);
   fingerprint_ = template_->TemplateFingerprint();
@@ -95,6 +97,7 @@ Result PreparedStatement::Execute() {
     return r;
   }
   // ToPlan already validated; skip the second tree walk.
+  session_->NoteStatementOrigin(source_sql_, bound_);
   return session_->RunValidatedPlan(plan);
 }
 

@@ -76,10 +76,15 @@ class PreparedStatement {
  private:
   friend class Session;
   PreparedStatement(Session* session, PlanPtr template_plan,
-                    PlanPtr pre_canonical = nullptr);
+                    PlanPtr pre_canonical = nullptr,
+                    std::string source_sql = std::string());
 
   Session* session_;
   PlanPtr template_;
+  /// The SQL text this statement was prepared from (empty for builder
+  /// templates); recorded with each execution's bindings by an attached
+  /// TraceRecorder so the round is replayable.
+  std::string source_sql_;
   /// The template as handed to Prepare, kept for Explain only; nullptr
   /// when canonicalization left it unchanged (or is disabled).
   PlanPtr pre_canonical_;

@@ -7,6 +7,8 @@
 //   - the multi-stream workload driver (workload/)
 //   - the bundled workload generators (tpch/, skyserver/) and the
 //     keep-all comparison baseline (baseline/)
+//   - the trace recorder/replayer (trace/) for golden tests and
+//     reproducible bug reports
 //
 // The header must always compile standalone under -Wall -Werror; the
 // build compiles src/recycledb/recycledb.cc (exactly this include) as
@@ -24,6 +26,9 @@
 #include "skyserver/skyserver.h"
 #include "tpch/dbgen.h"
 #include "tpch/qgen.h"
+#include "trace/recorder.h"
+#include "trace/replayer.h"
+#include "trace/trace_format.h"
 #include "workload/driver.h"
 
 /// recycledb: an embeddable vector-at-a-time query engine whose

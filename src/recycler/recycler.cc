@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -26,6 +27,51 @@ const char* RecyclerModeName(RecyclerMode mode) {
       return "PA";
   }
   return "?";
+}
+
+const char* ReuseModeName(ReuseMode mode) {
+  switch (mode) {
+    case ReuseMode::kNone:
+      return "none";
+    case ReuseMode::kExact:
+      return "exact";
+    case ReuseMode::kColdReadmit:
+      return "cold-readmit";
+    case ReuseMode::kSubsumption:
+      return "subsumption";
+    case ReuseMode::kPartialStitch:
+      return "partial-stitch";
+    case ReuseMode::kDelta:
+      return "delta";
+    case ReuseMode::kAggMerge:
+      return "agg-merge";
+  }
+  return "?";
+}
+
+bool ParseReuseMode(const std::string& name, ReuseMode* mode) {
+  for (ReuseMode m :
+       {ReuseMode::kNone, ReuseMode::kExact, ReuseMode::kColdReadmit,
+        ReuseMode::kSubsumption, ReuseMode::kPartialStitch, ReuseMode::kDelta,
+        ReuseMode::kAggMerge}) {
+    if (name == ReuseModeName(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+ReuseMode ReuseModeFromCounters(const QueryTrace& trace) {
+  if (trace.num_agg_merges > 0) return ReuseMode::kAggMerge;
+  if (trace.num_delta_reuses > 0) return ReuseMode::kDelta;
+  if (trace.num_partial_reuses > 0) return ReuseMode::kPartialStitch;
+  if (trace.num_subsumption_reuses > 0) return ReuseMode::kSubsumption;
+  if (trace.num_reuses > 0) {
+    return trace.num_cold_hits > 0 ? ReuseMode::kColdReadmit
+                                   : ReuseMode::kExact;
+  }
+  return ReuseMode::kNone;
 }
 
 /// Matched-tree node: pairs each query plan node with its recycler-graph
@@ -1465,6 +1511,9 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
         template_stats_[prepared->trace_.template_hash].executions;
   }
   plan->Bind(*catalog_);
+  // Identity of the statement as submitted (post-canonicalization,
+  // pre-rewrite): trace/golden tooling keys replay diffs on this.
+  prepared->trace_.plan_fingerprint = HashString(plan->TreeFingerprint());
 
   // Pin one consistent as-of snapshot of every base table for this
   // query (pinned in every mode: scans must not see rows appended
@@ -1480,6 +1529,7 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
 
   if (config_.mode == RecyclerMode::kOff) {
     prepared->plan_ = std::move(plan);
+    FinalizeTrace(prepared.get());
     return prepared;
   }
 
@@ -1568,7 +1618,15 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
   }
 
   prepared->plan_ = std::move(rewritten);
+  FinalizeTrace(prepared.get());
   return prepared;
+}
+
+void Recycler::FinalizeTrace(PreparedQuery* prepared) {
+  prepared->trace_.reuse_mode = ReuseModeFromCounters(prepared->trace_);
+  if (config_.capture_plan_explain) {
+    prepared->trace_.plan_explain = prepared->plan_->Explain();
+  }
 }
 
 void Recycler::OnComplete(PreparedQuery* prepared, const ExecResult& result) {

@@ -103,7 +103,42 @@ struct RecyclerConfig {
   /// every dependent entry (the pre-delta behavior). Results are
   /// bit-identical either way.
   bool enable_delta_maintenance = true;
+  /// Capture the post-rewrite plan's Explain text into
+  /// QueryTrace::plan_explain for every query. Off by default: the text
+  /// is only needed by trace recording / golden tests and rendering it
+  /// per query is not free.
+  bool capture_plan_explain = false;
 };
+
+/// The reuse decision the recycler made for one query, derived uniformly
+/// from the QueryTrace counters (precedence: an aggregate merge outranks
+/// the generic delta flag it also sets, delta outranks stitch, and so on
+/// down to the plain exact hit). One value per query even when a plan
+/// consumes several cached results: the most specialized mechanism wins,
+/// which is also the one whose regression a golden diff should name.
+enum class ReuseMode : uint8_t {
+  kNone = 0,        ///< no cached result consumed (miss / cold start)
+  kExact = 1,       ///< exact hot-cache hit
+  kColdReadmit = 2, ///< exact hit served by re-admitting a cold-tier entry
+  kSubsumption = 3, ///< single-superset subsumption rewrite
+  kPartialStitch = 4, ///< stitched UnionAll of cached slices (+ delta scan)
+  kDelta = 5,       ///< append-stale entry served as cached-prefix + delta
+  kAggMerge = 6,    ///< delta served as an aggregate merge (no rescan)
+};
+
+/// Stable lower-case name for `mode` ("none", "exact", "cold-readmit",
+/// "subsumption", "partial-stitch", "delta", "agg-merge"). Used verbatim
+/// in trace files and golden snapshots — do not reword existing names.
+const char* ReuseModeName(ReuseMode mode);
+
+/// Inverse of ReuseModeName. Returns false when `name` is not a known
+/// mode name (trace files from a newer engine may carry unknown modes).
+bool ParseReuseMode(const std::string& name, ReuseMode* mode);
+
+/// Derives the uniform reuse mode from a trace's counters (see ReuseMode
+/// for the precedence). Exposed so replay tooling can classify traces
+/// recorded before the reuse_mode field existed.
+ReuseMode ReuseModeFromCounters(const struct QueryTrace& trace);
 
 /// Per-query observability record (drives Fig. 9 traces and Fig. 10).
 struct QueryTrace {
@@ -131,6 +166,16 @@ struct QueryTrace {
   /// without zone maps).
   int64_t blocks_scanned = 0;
   int64_t blocks_pruned = 0;
+  /// The chosen reuse mode, set uniformly by Recycler::Execute from the
+  /// counters above (bypass-recycler traces stay kNone).
+  ReuseMode reuse_mode = ReuseMode::kNone;
+  /// Fingerprint of the plan as executed (post-canonicalization,
+  /// PRE-rewrite): restart-stable identity of "the same statement".
+  uint64_t plan_fingerprint = 0;
+  /// Explain text of the POST-rewrite plan (CachedScans, stitched
+  /// unions, delta windows visible). Only filled when
+  /// RecyclerConfig::capture_plan_explain is on.
+  std::string plan_explain;
 };
 
 /// Reuse accounting aggregated per prepared-statement template: the unit
@@ -378,6 +423,9 @@ class Recycler {
                         bool speculative_ok, PreparedQuery* prepared);
   StoreRequest MakeStoreRequest(RGNode* gnode, StoreMode mode,
                                 PreparedQuery* prepared);
+  /// Prepare tail (both mode paths): derives the uniform reuse_mode from
+  /// the counters and captures the post-rewrite Explain when configured.
+  void FinalizeTrace(PreparedQuery* prepared);
 
   // --- store callbacks --------------------------------------------------
   void OfferResult(RGNode* node, TablePtr result, double subtree_ms,

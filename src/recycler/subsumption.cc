@@ -308,9 +308,20 @@ PartialPlan TryPartialStitch(const PlanNode& query_node,
     eligible.push_back(&c);
   }
   if (eligible.empty()) return out;
+  // Fully deterministic candidate order — ascending by lo, equal-lo ties
+  // broken by the wider hi (it absorbs the sweep; a narrower twin clips
+  // to empty and drops out), then by graph insertion id. Without the tie
+  // breaks the order inherits the interval-index bucket order, which
+  // depends on admission/eviction history, and the stitched plan shape
+  // (hence Explain text and goldens) would differ across engines that
+  // executed the same workload.
   std::sort(eligible.begin(), eligible.end(),
             [](const IntervalCandidate* a, const IntervalCandidate* b) {
-              return LoTighter(b->range.lo, a->range.lo);  // ascending by lo
+              if (LoTighter(b->range.lo, a->range.lo)) return true;
+              if (LoTighter(a->range.lo, b->range.lo)) return false;
+              if (HiTighter(b->range.hi, a->range.hi)) return true;
+              if (HiTighter(a->range.hi, b->range.hi)) return false;
+              return a->node->id < b->node->id;
             });
 
   // Proportional credit needs a measurable query interval; otherwise the

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/macros.h"
+#include "common/string_util.h"
 #include "plan/table_function.h"
 
 namespace recycledb {
@@ -187,6 +188,28 @@ std::vector<SkyQuery> GenerateRegionSweep(int num_queries, Rng* rng,
   return workload;
 }
 
+std::vector<std::string> GenerateRegionSweepSql(int num_queries, Rng* rng,
+                                                double window_deg,
+                                                double step_deg) {
+  // Same band/drift/jitter formulas as GenerateRegionSweep, rendered as
+  // SQL. %.6f keeps the jittered bounds well above double-rounding noise
+  // while the text stays stable for trace fingerprints and goldens.
+  // SELECT * (not a column list) so lowering emits no Project and the
+  // plan root stays the range Select — the shape partial stitching keys
+  // on, matching the plan-built sweep.
+  std::vector<std::string> sql;
+  sql.reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    double lo = 185.0 + step_deg * i + rng->NextDouble() * 0.25 * step_deg;
+    double hi = lo + window_deg;
+    sql.push_back(StrFormat(
+        "SELECT * FROM photoprimary"
+        " WHERE dec >= -2.5 AND dec < 7.5 AND ra >= %.6f AND ra < %.6f",
+        lo, hi));
+  }
+  return sql;
+}
+
 Query ConeSearchTemplate(std::vector<std::string> columns, int64_t limit) {
   Query nearby = Query::FunctionScan(
       "fGetNearbyObjEq",
@@ -212,6 +235,13 @@ std::vector<workload::StreamSpec> MakeStreams(int num_streams,
     streams.push_back(std::move(spec));
   }
   return streams;
+}
+
+std::vector<workload::StreamSpec> MakeStreams(
+    int num_streams, int queries_per_stream,
+    const workload::DriverOptions& options) {
+  return MakeStreams(num_streams, queries_per_stream,
+                     workload::ResolveSeed(options, 42));
 }
 
 }  // namespace skyserver

@@ -68,5 +68,20 @@ std::vector<workload::StreamSpec> MakeStreams(int num_streams,
                                               int queries_per_stream,
                                               uint64_t seed = 42);
 
+/// Driver-options overload: uses `options.seed` when non-zero, else the
+/// historical default (42), so a recorded run names one seed that
+/// regenerates the identical streams.
+std::vector<workload::StreamSpec> MakeStreams(
+    int num_streams, int queries_per_stream,
+    const workload::DriverOptions& options);
+
+/// SQL texts of the overlapping region sweep (same formulas and RNG
+/// consumption as GenerateRegionSweep, rendered as replayable SQL over
+/// photoprimary). The trace/golden corpora use this form so every query
+/// has a recordable statement text.
+std::vector<std::string> GenerateRegionSweepSql(int num_queries, Rng* rng,
+                                                double window_deg = 8.0,
+                                                double step_deg = 1.0);
+
 }  // namespace skyserver
 }  // namespace recycledb

@@ -62,7 +62,7 @@ bool BitEq(const double& a, const double& b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
 
-Datum ToDatum(TypeId type, uint8_t v) { return static_cast<bool>(v); }
+Datum ToDatum(TypeId, uint8_t v) { return static_cast<bool>(v); }
 Datum ToDatum(TypeId, int32_t v) { return v; }
 Datum ToDatum(TypeId, int64_t v) { return v; }
 Datum ToDatum(TypeId, double v) { return v; }

@@ -1,0 +1,58 @@
+#include "trace/recorder.h"
+
+#include "api/result.h"
+
+namespace recycledb {
+namespace trace {
+
+TraceRecorder::TraceRecorder(TraceHeader header) {
+  header.version = kTraceFormatVersion;
+  trace_.header = std::move(header);
+}
+
+void TraceRecorder::OnStatement(const std::string& sql,
+                                const ParamMap& params,
+                                const Result& result) {
+  if (!result.ok()) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kStatement;
+  StatementEvent& s = e.statement;
+  s.sql = sql;
+  s.params = params;
+  s.plan_fingerprint = result.trace().plan_fingerprint;
+  s.template_hash = result.trace().template_hash;
+  s.reuse_mode = result.trace().reuse_mode;
+  s.rows = result.num_rows();
+  if (result.table() != nullptr) s.digest = ResultDigest(*result.table());
+  s.plan_explain = result.trace().plan_explain;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.events.push_back(std::move(e));
+}
+
+void TraceRecorder::RecordAppend(const std::string& table, int64_t rows,
+                                 int64_t start_row) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kAppend;
+  e.append.table = table;
+  e.append.rows = rows;
+  e.append.start_row = start_row;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.events.push_back(std::move(e));
+}
+
+Trace TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  return WriteTraceFile(path, Snapshot());
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.events.clear();
+}
+
+}  // namespace trace
+}  // namespace recycledb

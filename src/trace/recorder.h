@@ -1,0 +1,62 @@
+// TraceRecorder: captures an executed workload as a replayable trace.
+//
+// Attach one to a Session (Session::set_recorder); every successful
+// synchronous SQL statement the session executes — Sql() calls and
+// prepared-statement Execute() rounds alike — lands in the trace with
+// its bound parameters, reuse decision, post-rewrite plan shape (when
+// the recycler captures it) and result digest. Appends are recorded
+// explicitly by the harness (RecordAppend) right after
+// Database::AppendTable, so the trace interleaves them at the correct
+// points. Thread-safe: several sessions may share one recorder, though
+// interleaving across sessions is then scheduling-dependent — record
+// single-stream when the trace feeds goldens.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "trace/trace_format.h"
+
+namespace recycledb {
+
+class Result;
+
+namespace trace {
+
+/// Records statements/appends into an in-memory Trace (see file comment
+/// for attachment and threading).
+class TraceRecorder {
+ public:
+  /// `header` seeds the trace metadata (seed, workload label, tags,
+  /// deterministic clock). The version field is forced to the writer's.
+  explicit TraceRecorder(TraceHeader header = {});
+
+  /// Session callback: appends one statement event. `sql` is the
+  /// statement (or template) text; `params` the bound template
+  /// parameters (empty for parameter-free SQL). Failed results are
+  /// skipped — a trace holds the workload that actually produced rows.
+  void OnStatement(const std::string& sql, const ParamMap& params,
+                   const Result& result);
+
+  /// Harness callback: appends an append event. `start_row` is the
+  /// table's row count BEFORE the batch (replay cross-checks it).
+  void RecordAppend(const std::string& table, int64_t rows,
+                    int64_t start_row);
+
+  /// Copy of the trace recorded so far.
+  Trace Snapshot() const;
+
+  /// Serializes the trace to `path` (WriteTraceFile).
+  Status WriteFile(const std::string& path) const;
+
+  /// Drops every recorded event (the header stays).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  Trace trace_;
+};
+
+}  // namespace trace
+}  // namespace recycledb

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "plan/canonicalize.h"
 #include "sql/lower.h"
+#include "trace/trace_format.h"
 
 namespace recycledb {
 namespace workload {
@@ -139,6 +140,9 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
           rec.end_ms = run_sw.ElapsedMs();
           gate.Release();
           rec.result_rows = result.table->num_rows();
+          if (options_.compute_digests) {
+            rec.digest = trace::ResultDigest(*result.table);
+          }
           std::lock_guard<std::mutex> lock(report_mu);
           report.records.push_back(std::move(rec));
         }

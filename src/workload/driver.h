@@ -35,6 +35,10 @@ struct QueryRecord {
   double start_ms = 0;  // relative to the run start
   double end_ms = 0;
   int64_t result_rows = 0;
+  /// Order-insensitive result digest (trace::ResultDigest); 0 unless
+  /// DriverOptions::compute_digests is on. Trace replay diffs this
+  /// against the recorded value per execution.
+  uint64_t digest = 0;
   QueryTrace trace;
 };
 
@@ -113,7 +117,24 @@ struct DriverOptions {
   /// #streams). When larger than max_concurrent, the admission gate (not
   /// the thread count) enforces the execution bound.
   int threads = 0;
+  /// Explicit RNG seed for generator-built streams: the MakeStreams /
+  /// Setup overloads taking a DriverOptions (skyserver, tpch, rollup)
+  /// derive their per-stream seeds from this value, so a recorded
+  /// workload can be regenerated exactly. 0 keeps each generator's
+  /// historical default seed (the current behavior).
+  uint64_t seed = 0;
+  /// Compute QueryRecord::digest for every result (order-insensitive
+  /// FNV over all datums). Off by default: hashing every result row is
+  /// measurable overhead benches should not pay.
+  bool compute_digests = false;
 };
+
+/// Seed-resolution helper for generator overloads taking DriverOptions:
+/// the explicit driver seed when set, else the generator's default.
+inline uint64_t ResolveSeed(const DriverOptions& options,
+                            uint64_t generator_default) {
+  return options.seed != 0 ? options.seed : generator_default;
+}
 
 /// The multi-stream harness. One instance may be reused for several runs
 /// (each Run builds its own thread pool so a report is always complete
