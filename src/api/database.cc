@@ -66,6 +66,40 @@ Status ValidateRecyclerConfig(const RecyclerConfig& config) {
                   "disable the cold tier",
                   (long long)config.cold_tier_capacity_bytes));
   }
+  // Fleet tier: both flags are properties of the spill directory and are
+  // meaningless without one.
+  if (config.spill_dir.empty()) {
+    if (config.shared_spill_dir) {
+      return Status::InvalidArgument(
+          "shared_spill_dir requires spill_dir to be set");
+    }
+    if (config.spill_read_only) {
+      return Status::InvalidArgument(
+          "spill_read_only requires spill_dir to be set");
+    }
+  }
+  if (config.spill_read_only && !config.shared_spill_dir) {
+    return Status::InvalidArgument(
+        "spill_read_only requires shared_spill_dir (a private tier that "
+        "can never write is useless)");
+  }
+  if (config.shared_spill_dir) {
+    if (config.fleet_lease_ms <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("fleet_lease_ms must be positive (got %lld)",
+                    (long long)config.fleet_lease_ms));
+    }
+    for (char c : config.fleet_instance) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+      if (!ok) {
+        return Status::InvalidArgument(
+            StrFormat("fleet_instance %s is not filename-safe (allowed: "
+                      "[A-Za-z0-9_-])",
+                      config.fleet_instance.c_str()));
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -82,9 +116,18 @@ Status Database::Open(DatabaseOptions options, std::unique_ptr<Database>* out) {
                   options.async_threads));
   }
   if (!options.recycler.spill_dir.empty()) {
-    // Probe the directory now so an unwritable spill_dir surfaces here
-    // as an actionable Status instead of silently degrading later.
-    RDB_RETURN_NOT_OK(ColdTier::ValidateSpillDir(options.recycler.spill_dir));
+    // Probe the directory now so an unusable spill_dir surfaces here as
+    // an actionable Status instead of silently degrading later. The
+    // probe matches the mode: an adopt-only standby on a read-only
+    // mount must open cleanly (no create, no write), while a writable
+    // tier over a genuinely unwritable directory is still an error.
+    if (options.recycler.spill_read_only) {
+      RDB_RETURN_NOT_OK(
+          ColdTier::ValidateSpillDirReadable(options.recycler.spill_dir));
+    } else {
+      RDB_RETURN_NOT_OK(
+          ColdTier::ValidateSpillDir(options.recycler.spill_dir));
+    }
   }
   out->reset(new Database(std::move(options)));
   return Status::OK();
@@ -143,6 +186,10 @@ void Database::FlushCache() { recycler_.FlushCache(); }
 
 int64_t Database::TruncateGraph(int64_t idle_epochs) {
   return recycler_.TruncateGraph(idle_epochs);
+}
+
+Status Database::RefreshFleet(int64_t* new_peer_entries) {
+  return recycler_.RefreshFleet(new_peer_entries);
 }
 
 std::future<Result> Database::SubmitTask(std::function<Result()> fn,

@@ -137,6 +137,16 @@ class Database {
   /// returns the number of nodes removed (see Recycler::TruncateGraph).
   int64_t TruncateGraph(int64_t idle_epochs);
 
+  // ---- fleet tier ------------------------------------------------------
+  /// One fleet refresh round over a shared spill directory: discovers
+  /// peers' new spills as adoptable entries, applies fleet-wide purge
+  /// records, performs stale-lease takeover and renews this instance's
+  /// lease (see Recycler::RefreshFleet). `new_peer_entries` (optional)
+  /// receives the number of newly discovered peer entries. No-op OK on a
+  /// private tier. A standby keeps itself warm by calling this
+  /// periodically — fleet::StandbyTailer wraps exactly that loop.
+  Status RefreshFleet(int64_t* new_peer_entries = nullptr);
+
   // ---- observability ---------------------------------------------------
   /// Snapshot of recycler-graph size and cache footprint.
   GraphStats graph_stats() { return recycler_.graph().Stats(); }

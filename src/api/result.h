@@ -72,6 +72,10 @@ class Result {
   /// Reuses served by lazily re-admitting a spilled result from the
   /// on-disk cold tier; counted inside reuses() as well.
   int cold_hits() const { return trace_.num_cold_hits; }
+  /// Cold-tier orphans adopted while preparing this query (restart
+  /// images or fleet peers' spills discovered by canonical key). An
+  /// adoption is not itself a reuse; it makes one servable.
+  int adoptions() const { return trace_.num_adoptions; }
   /// Reuses served by delta maintenance: an append-stale cached result
   /// stitched with a bounded scan of the appended row window; counted
   /// inside reuses() as well.

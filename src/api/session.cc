@@ -279,6 +279,7 @@ void Session::Record(const Result& result) {
   stats_.subsumption_reuses += result.subsumption_reuses();
   stats_.partial_reuses += result.partial_reuses();
   stats_.cold_hits += result.cold_hits();
+  stats_.adoptions += result.adoptions();
   stats_.delta_reuses += result.delta_reuses();
   stats_.agg_merges += result.agg_merges();
   stats_.materializations += result.materialized();

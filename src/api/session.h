@@ -59,6 +59,9 @@ struct SessionStats {
   /// Reuses served by loading a spilled result from the cold tier
   /// (counted inside reuses as well).
   int64_t cold_hits = 0;
+  /// Cold-tier orphans adopted during this session's query preparation
+  /// (restart images or fleet peers' spills; not themselves reuses).
+  int64_t adoptions = 0;
   /// Reuses served by delta maintenance over append-stale entries
   /// (counted inside reuses as well).
   int64_t delta_reuses = 0;

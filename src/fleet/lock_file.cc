@@ -1,0 +1,53 @@
+#include "fleet/lock_file.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace recycledb {
+namespace fleet {
+
+DirLock& DirLock::operator=(DirLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status DirLock::Acquire(const std::string& lock_path, DirLock* out) {
+  int fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open fleet lock file " + lock_path + ": " +
+                            std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("cannot flock fleet lock file " + lock_path +
+                            ": " + std::strerror(err));
+  }
+  out->Release();
+  out->fd_ = fd;
+  return Status::OK();
+}
+
+void DirLock::Release() {
+  if (fd_ >= 0) {
+    // close() drops the flock with the last reference to the open file
+    // description; no explicit LOCK_UN needed.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace fleet
+}  // namespace recycledb

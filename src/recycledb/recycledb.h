@@ -23,6 +23,7 @@
 #include "api/validate.h"
 #include "baseline/keepall.h"
 #include "common/rng.h"
+#include "fleet/standby.h"
 #include "skyserver/skyserver.h"
 #include "tpch/dbgen.h"
 #include "tpch/qgen.h"

@@ -1,5 +1,7 @@
 #include "recycler/recycler.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -166,16 +168,46 @@ Recycler::Recycler(const Catalog* catalog, RecyclerConfig config)
   // inside a query's timing.
   if (config_.use_cost_model) CostModel::Global();
   cold_tier_.set_compress(config_.compress_spill);
+  // Nodes dropped off the recycler's synchronous paths (async spill
+  // failures, commit-time sweeps, fleet purges applied by RefreshFleet)
+  // arrive here with no cold-tier lock held; demotion takes the normal
+  // graph/cache locks.
+  cold_tier_.set_drop_callback([this](const std::vector<const RGNode*>& ns) {
+    std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    for (const RGNode* n : ns) OnColdEntryDropped(const_cast<RGNode*>(n));
+  });
+  // Spill accounting runs at commit time so async and sync spills count
+  // identically (atomics only: the sync path fires under the tier mutex).
+  cold_tier_.set_spilled_callback(
+      [this](const RGNode*, int64_t stored, int64_t raw) {
+        counters_.cold_spills.fetch_add(1);
+        counters_.cold_spill_stored_bytes.fetch_add(stored);
+        counters_.cold_spill_raw_bytes.fetch_add(raw);
+      });
   // Database::Open pre-validates the directory and returns an actionable
   // Status; direct constructions with an unusable spill_dir degrade to
   // memory-only behavior rather than aborting.
   if (!config_.spill_dir.empty()) {
-    cold_tier_.Open(config_.spill_dir, config_.cold_tier_capacity_bytes)
-        .ok();
+    ColdTierOptions copts;
+    copts.dir = config_.spill_dir;
+    copts.capacity_bytes = config_.cold_tier_capacity_bytes;
+    copts.shared = config_.shared_spill_dir;
+    copts.read_only = config_.spill_read_only;
+    copts.lease_ms = config_.fleet_lease_ms;
+    copts.async_spill = config_.async_spill;
+    if (config_.shared_spill_dir && !config_.spill_read_only) {
+      copts.instance_id = config_.fleet_instance.empty()
+                              ? StrFormat("pid%d", static_cast<int>(getpid()))
+                              : config_.fleet_instance;
+    }
+    cold_tier_.Open(copts).ok();
   }
 }
 
-Recycler::~Recycler() { CheckpointColdTier(); }
+Recycler::~Recycler() {
+  CheckpointColdTier();  // drains the async queue before returning
+}
 
 // ---------------------------------------------------------------------------
 // Cold tier (the persistent second-tier result cache)
@@ -279,18 +311,18 @@ bool Recycler::MaybeSpill(RGNode* node) {
     meta.table_versions.emplace_back(t, stamp.rows);
   }
 
+  if (config_.async_spill) {
+    // The file write happens on the tier's worker, off the cache mutex
+    // the caller holds; the pinned snapshot serves loads until the
+    // commit. Failures and commit-time sweep victims come back through
+    // the drop callback. Spill accounting fires in the spilled callback
+    // at commit on both paths.
+    return cold_tier_.SpillAsync(node, meta.canon_key, snapshot, meta);
+  }
   std::vector<const RGNode*> dropped;
   bool ok = cold_tier_.Spill(node, meta.canon_key, *snapshot, meta, &dropped);
   for (const RGNode* d : dropped) {
     OnColdEntryDropped(const_cast<RGNode*>(d));
-  }
-  if (ok) {
-    counters_.cold_spills.fetch_add(1);
-    int64_t stored = 0, raw = 0;
-    if (cold_tier_.EntrySizes(node, &stored, &raw)) {
-      counters_.cold_spill_stored_bytes.fetch_add(stored);
-      counters_.cold_spill_raw_bytes.fetch_add(raw);
-    }
   }
   return ok;
 }
@@ -435,22 +467,22 @@ TablePtr Recycler::SnapshotOrLoadSlice(RGNode* node, const RangeSpec* spec,
   return SnapshotOrReadmit(node, prepared, from_cold);
 }
 
-void Recycler::TryAdoptOrphan(RGNode* node) {
+bool Recycler::TryAdoptOrphan(RGNode* node) {
   // Caller holds the exclusive graph lock, which excludes every spill /
   // sweep path (those hold it shared), so the adopted entry cannot be
   // evicted mid-adoption.
-  if (!cold_tier_.has_orphans() || !CacheableType(node->type)) return;
-  if (node->mat_state.load() != MatState::kNone) return;
+  if (!cold_tier_.has_orphans() || !CacheableType(node->type)) return false;
+  if (node->mat_state.load() != MatState::kNone) return false;
   SpillFileMeta meta;
   int64_t bytes = 0;
   if (!cold_tier_.AdoptOrphan(CanonicalSubtreeKey(node), node, &meta,
                               &bytes)) {
-    return;
+    return false;
   }
   if (meta.column_types != node->output_types) {
     // Schema drift (same structure, different types): never serve it.
     cold_tier_.Remove(node);
-    return;
+    return false;
   }
   // Re-anchor v3 row stamps against the live catalog: replace-epochs are
   // process-local, so an image is adoptable iff every row mark still fits
@@ -462,7 +494,7 @@ void Recycler::TryAdoptOrphan(RGNode* node) {
     TableSnapshot snap = catalog_->Snapshot(tname);
     if (snap.table == nullptr || rows > snap.rows) {
       cold_tier_.Remove(node);
-      return;
+      return false;
     }
     stamps[tname] = TableStamp{snap.epoch, rows};
   }
@@ -484,19 +516,47 @@ void Recycler::TryAdoptOrphan(RGNode* node) {
     RegisterIntervals(node);
   }
   counters_.cold_adoptions.fetch_add(1);
+  return true;
 }
 
 int64_t Recycler::CheckpointColdTier() {
   if (!cold_tier_.enabled()) return 0;
-  std::shared_lock<std::shared_mutex> glock(graph_.mutex());
-  std::lock_guard<std::mutex> clock(cache_mu_);
   int64_t written = 0;
-  for (RGNode* node : cache_.Entries()) {
-    if (cold_tier_.Has(node)) continue;
-    if (BenefitOf(node) < config_.spill_min_benefit) continue;
-    if (MaybeSpill(node)) ++written;
+  {
+    std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    for (RGNode* node : cache_.Entries()) {
+      if (cold_tier_.Has(node)) continue;
+      if (BenefitOf(node) < config_.spill_min_benefit) continue;
+      if (MaybeSpill(node)) ++written;
+    }
   }
+  // The drain barrier runs OUTSIDE the graph/cache locks: the worker's
+  // drop callback acquires them to demote sweep victims, so draining
+  // under them would deadlock. After this returns every checkpointed
+  // entry is on disk and in the manifest.
+  cold_tier_.Drain();
   return written;
+}
+
+Status Recycler::RefreshFleet(int64_t* new_peer_entries) {
+  if (new_peer_entries != nullptr) *new_peer_entries = 0;
+  if (!cold_tier_.enabled()) return Status::OK();
+  std::vector<const RGNode*> dropped;
+  int64_t peers = 0, takeovers = 0;
+  Status st = cold_tier_.RefreshPeers(&dropped, &peers, &takeovers);
+  if (!dropped.empty()) {
+    // Fleet purges retired entries of live nodes: demote them exactly
+    // like a sweep drop.
+    std::shared_lock<std::shared_mutex> glock(graph_.mutex());
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    for (const RGNode* d : dropped) OnColdEntryDropped(const_cast<RGNode*>(d));
+  }
+  counters_.fleet_refreshes.fetch_add(1);
+  counters_.fleet_peer_entries.fetch_add(peers);
+  counters_.fleet_lease_takeovers.fetch_add(takeovers);
+  if (new_peer_entries != nullptr) *new_peer_entries = peers;
+  return st;
 }
 
 // ---------------------------------------------------------------------------
@@ -666,7 +726,7 @@ std::unique_ptr<Recycler::MNode> Recycler::MatchTree(const PlanPtr& plan) {
   return w.Walk(plan);
 }
 
-void Recycler::InsertMissing(MNode* m, int64_t query_id) {
+void Recycler::InsertMissing(MNode* m, PreparedQuery* prepared) {
   // Phase 2 (caller holds the exclusive lock): re-validate unmatched nodes
   // (a concurrent query may have inserted them since phase 1 — the
   // backwards-validation step of the paper's OCC scheme) and insert the
@@ -674,7 +734,7 @@ void Recycler::InsertMissing(MNode* m, int64_t query_id) {
   if (m->gnode != nullptr) return;
   std::vector<RGNode*> child_g;
   for (auto& cm : m->children) {
-    InsertMissing(cm.get(), query_id);
+    InsertMissing(cm.get(), prepared);
     child_g.push_back(cm->gnode);
   }
   m->mapping.clear();
@@ -691,12 +751,13 @@ void Recycler::InsertMissing(MNode* m, int64_t query_id) {
     }
     return;
   }
-  m->gnode = InsertOne(*m->plan, child_g, &m->mapping, query_id);
+  m->gnode = InsertOne(*m->plan, child_g, &m->mapping, prepared->query_id_);
   m->inserted = true;
-  // Restart warm-up: a node inserted for the first time in this process
-  // may have a spilled image from a previous one — adopt it so the reuse
-  // rewriter below can serve this very query from disk.
-  TryAdoptOrphan(m->gnode);
+  // Warm-up: a node inserted for the first time in this process may have
+  // a spilled image from a previous one — or from a fleet peer — so
+  // adopt it and the reuse rewriter below serves this very query from
+  // disk.
+  if (TryAdoptOrphan(m->gnode)) ++prepared->trace_.num_adoptions;
 }
 
 // ---------------------------------------------------------------------------
@@ -822,16 +883,19 @@ PlanPtr Recycler::TryDeltaRewrite(MNode* m, const PlanPtr& plan, RGNode* g,
   return delta_plan;
 }
 
-void Recycler::MaybeAdoptOrphanParents(RGNode* child_gnode) {
+void Recycler::MaybeAdoptOrphanParents(RGNode* child_gnode,
+                                       PreparedQuery* prepared) {
   if (!cold_tier_.has_orphans()) return;
   // Derived reuse probes this child's parents for cached results; restart
-  // orphans among them are invisible until some query re-inserts the
-  // exact node. Adopt them here by canonical key so a subsumption/stitch
-  // lookup can serve them directly.
+  // and fleet-peer orphans among them are invisible until some query
+  // re-inserts the exact node. Adopt them here by canonical key so a
+  // subsumption/stitch lookup can serve them directly.
   std::unique_lock<std::shared_mutex> glock(graph_.mutex());
   std::unordered_set<RGNode*> seen;
   for (const auto& [hk, parent] : child_gnode->parents) {
-    if (seen.insert(parent).second) TryAdoptOrphan(parent);
+    if (seen.insert(parent).second && TryAdoptOrphan(parent)) {
+      ++prepared->trace_.num_adoptions;
+    }
   }
 }
 
@@ -930,7 +994,7 @@ PlanPtr Recycler::RewriteForReuse(MNode* m, const PlanPtr& plan,
       // Restart orphans among this child's parents become directly
       // servable subsumption/stitch candidates (adoption by canonical
       // key), instead of waiting for an exact re-insertion.
-      MaybeAdoptOrphanParents(child_gnode);
+      MaybeAdoptOrphanParents(child_gnode, prepared);
 
       // Single-superset subsumption (§IV-A). Candidate parents are
       // collected under the shared lock; their snapshots are taken
@@ -1489,11 +1553,17 @@ void Recycler::FlushCache() {
   // A flush is memory-pressure relief, not invalidation: with the cold
   // tier enabled, still-beneficial results are demoted to disk instead
   // of discarded (use InvalidateTable/ReplaceTable to drop stale data).
-  std::shared_lock<std::shared_mutex> lock(graph_.mutex());
-  std::lock_guard<std::mutex> clock(cache_mu_);
-  std::vector<RGNode*> evicted;
-  cache_.Flush(&evicted);
-  for (RGNode* n : evicted) HandleHotEviction(n);
+  {
+    std::shared_lock<std::shared_mutex> lock(graph_.mutex());
+    std::lock_guard<std::mutex> clock(cache_mu_);
+    std::vector<RGNode*> evicted;
+    cache_.Flush(&evicted);
+    for (RGNode* n : evicted) HandleHotEviction(n);
+  }
+  // Flush promises the demotions are durable on return; the drain
+  // barrier runs outside the graph/cache locks (the async worker's drop
+  // callback acquires them).
+  cold_tier_.Drain();
 }
 
 // ---------------------------------------------------------------------------
@@ -1558,7 +1628,7 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
       bool gate_go = false;
       {
         std::unique_lock<std::shared_mutex> lock(graph_.mutex());
-        InsertMissing(pm.get(), prepared->query_id_);
+        InsertMissing(pm.get(), prepared.get());
         BumpImportance(pm.get(), false);
         // Find the gate node's MNode.
         std::vector<MNode*> stack{pm.get()};
@@ -1598,7 +1668,7 @@ std::unique_ptr<PreparedQuery> Recycler::Prepare(PlanPtr plan) {
       BumpImportance(matched.get(), false);  // §III-C
     } else {
       std::unique_lock<std::shared_mutex> lock(graph_.mutex());
-      InsertMissing(matched.get(), prepared->query_id_);  // phase 2 + OCC
+      InsertMissing(matched.get(), prepared.get());  // phase 2 + OCC
       BumpImportance(matched.get(), false);               // §III-C
     }
   }

@@ -91,6 +91,27 @@ struct RecyclerConfig {
   /// Stored results are bit-identical either way; compression only
   /// changes how many entries fit under cold_tier_capacity_bytes.
   bool compress_spill = true;
+  // --- fleet tier (shared cold directory) ------------------------------
+  /// Coordinate with other engine processes sharing spill_dir through
+  /// the fleet ownership manifest (fleet/manifest.h). Off = the classic
+  /// private tier (the directory must then belong to one instance).
+  bool shared_spill_dir = false;
+  /// This process's identity in the fleet manifest. Must be non-empty
+  /// and filename-safe ([A-Za-z0-9_-]) when shared_spill_dir is set and
+  /// the tier is writable; auto-derived from the pid when left empty.
+  std::string fleet_instance;
+  /// Adopt-only fleet member: discover and serve peers' spills but never
+  /// create, delete or lock anything in the directory (standby on a
+  /// read-only mount). Implies no spills and no checkpoint.
+  bool spill_read_only = false;
+  /// Fleet liveness lease; an instance that has not renewed within this
+  /// window is presumed dead and its entries become claimable
+  /// (stale-lease takeover). Must be positive when shared_spill_dir.
+  int64_t fleet_lease_ms = 30000;
+  /// Run spill file writes on a background worker instead of under the
+  /// cache mutex (Drain barriers at checkpoint/shutdown keep
+  /// persistence semantics). Off = the historical synchronous spill.
+  bool async_spill = true;
   /// Consult base-table zone maps to skip scan blocks that cannot match
   /// a query's range predicate. Pruning is conservative (never skips a
   /// possibly-matching block), so results are identical either way.
@@ -154,6 +175,8 @@ struct QueryTrace {
   int num_delta_reuses = 0;        // of which via delta maintenance
   int num_agg_merges = 0;          // of which aggregate merges (no rescan)
   int num_cold_hits = 0;           // of which loaded from the cold tier
+  int num_adoptions = 0;           // cold orphans adopted during Prepare
+                                   // (restart images or fleet peers)
   int num_materialized = 0;        // results added to the cache
   int num_spec_aborted = 0;        // speculative stores that backed off
   int num_stalls = 0;              // waits on concurrent materializations
@@ -228,6 +251,13 @@ struct RecyclerCounters {
   /// column-compression win; raw == stored when compress_spill is off).
   std::atomic<int64_t> cold_spill_raw_bytes{0};
   std::atomic<int64_t> cold_spill_stored_bytes{0};
+  // --- fleet tier ------------------------------------------------------
+  /// RefreshFleet rounds completed.
+  std::atomic<int64_t> fleet_refreshes{0};
+  /// Peer spill files discovered and tracked as adoptable orphans.
+  std::atomic<int64_t> fleet_peer_entries{0};
+  /// Dead-owner entries claimed via stale-lease takeover.
+  std::atomic<int64_t> fleet_lease_takeovers{0};
   // --- zone maps -------------------------------------------------------
   /// Scan blocks read vs. skipped via zone-map pruning, across all
   /// queries (base-table and cached-result scans alike).
@@ -349,7 +379,19 @@ class Recycler {
   /// demoted once keep their file, so this skips them). Called by the
   /// destructor so a graceful shutdown persists accumulated coverage;
   /// exposed for tests/benches. Returns the number of files written.
+  /// With async spill on, drains the spill queue before returning, so
+  /// every checkpointed entry is on disk when this returns.
   int64_t CheckpointColdTier();
+
+  /// Fleet tier: one manifest refresh round — discovers peers' new
+  /// spills as adoptable orphans, applies fleet-wide purge records,
+  /// performs stale-lease takeover, renews this instance's lease, and
+  /// demotes nodes whose entries a purge retired. `new_peer_entries`
+  /// (optional) receives the number of newly discovered peer entries.
+  /// No-op OK on a private tier. Called periodically by the standby
+  /// tailer (fleet/standby.h) and on demand by tests/benches. Must not
+  /// be called while holding engine locks.
+  Status RefreshFleet(int64_t* new_peer_entries = nullptr);
 
   /// Canonical, restart-stable fingerprint of the graph subtree rooted
   /// at `node`: node-id suffixes inside parameter fingerprints are
@@ -364,6 +406,7 @@ class Recycler {
   RecyclerGraph& graph() { return graph_; }
   RecyclerCache& cache() { return cache_; }
   const ColdTier& cold_tier() const { return cold_tier_; }
+  ColdTier& cold_tier() { return cold_tier_; }
   const RecyclerConfig& config() const { return config_; }
   const RecyclerCounters& counters() const { return counters_; }
   const Catalog* catalog() const { return catalog_; }
@@ -373,7 +416,7 @@ class Recycler {
 
   // --- matching & insertion (§III-A/B) --------------------------------
   std::unique_ptr<MNode> MatchTree(const PlanPtr& plan);
-  void InsertMissing(MNode* m, int64_t query_id);
+  void InsertMissing(MNode* m, PreparedQuery* prepared);
   RGNode* MatchOne(const PlanNode& node, const std::vector<RGNode*>& child_g,
                    const NameMap& mapping) const;
   RGNode* InsertOne(const PlanNode& node, const std::vector<RGNode*>& child_g,
@@ -412,7 +455,8 @@ class Recycler {
   /// adopt any restart orphans those parents still have on disk so they
   /// are servable without an exact re-insertion. Caller must not hold
   /// the graph lock; takes it exclusive briefly when orphans exist.
-  void MaybeAdoptOrphanParents(RGNode* child_gnode);
+  /// Adoptions are counted into `prepared`'s trace.
+  void MaybeAdoptOrphanParents(RGNode* child_gnode, PreparedQuery* prepared);
   void InjectStores(MNode* m, PreparedQuery* prepared, bool in_store_chain);
   /// Shared admission decision for one store candidate: history-based
   /// materialization when measured (benefit admit at h >= 1, gated by
@@ -493,10 +537,11 @@ class Recycler {
   TablePtr SnapshotOrLoadSlice(RGNode* node, const RangeSpec* spec,
                                PreparedQuery* prepared, bool* from_cold);
 
-  /// Probes the cold tier's orphan map for a restart image of the just-
-  /// inserted `node` and adopts it (re-seed stats, kCold state, interval
-  /// registration). Caller holds the exclusive graph lock.
-  void TryAdoptOrphan(RGNode* node);
+  /// Probes the cold tier's orphan map for a restart or fleet-peer image
+  /// of the just-inserted `node` and adopts it (re-seed stats, kCold
+  /// state, interval registration). Returns true on adoption. Caller
+  /// holds the exclusive graph lock.
+  bool TryAdoptOrphan(RGNode* node);
 
   /// Registers `node`'s range slices in the interval index right after
   /// cache admission. Caller holds at least the shared graph lock AND

@@ -138,7 +138,9 @@ Status RawDecode(Cursor* c, int64_t n, std::vector<T>* out) {
   const size_t need = static_cast<size_t>(n) * sizeof(T);
   if (c->remaining() < need) return Status::Internal("raw payload truncated");
   out->resize(static_cast<size_t>(n));
-  std::memcpy(out->data(), c->p + c->pos, need);
+  // An empty vector's data() may be null; memcpy requires non-null even
+  // for a zero-byte copy.
+  if (need > 0) std::memcpy(out->data(), c->p + c->pos, need);
   c->pos += need;
   return Status::OK();
 }

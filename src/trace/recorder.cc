@@ -25,6 +25,7 @@ void TraceRecorder::OnStatement(const std::string& sql,
   s.rows = result.num_rows();
   if (result.table() != nullptr) s.digest = ResultDigest(*result.table());
   s.plan_explain = result.trace().plan_explain;
+  s.adoptions = result.trace().num_adoptions;
   std::lock_guard<std::mutex> lock(mu_);
   trace_.events.push_back(std::move(e));
 }

@@ -467,6 +467,11 @@ std::string SerializeTrace(const Trace& trace) {
       if (!s.plan_explain.empty()) {
         AppendField(&line, "explain", s.plan_explain, &first);
       }
+      // Written only when nonzero: traces recorded before the field
+      // existed round-trip byte-identically.
+      if (s.adoptions != 0) {
+        AppendField(&line, "adoptions", I64(s.adoptions), &first);
+      }
     } else {
       AppendField(&line, "kind", "append", &first);
       AppendField(&line, "table", e.append.table, &first);
@@ -577,6 +582,10 @@ Status ParseTrace(const std::string& text, Trace* out) {
       if (!st.ok()) return LineError(line_no, st);
       if (fields.Has("explain")) {
         st = fields.GetString("explain", &s.plan_explain);
+        if (!st.ok()) return LineError(line_no, st);
+      }
+      if (fields.Has("adoptions")) {
+        st = fields.GetInt64("adoptions", &s.adoptions);
         if (!st.ok()) return LineError(line_no, st);
       }
       out->events.push_back(std::move(e));

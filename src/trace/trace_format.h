@@ -70,6 +70,11 @@ struct StatementEvent {
   /// Post-rewrite plan shape (QueryTrace::plan_explain; empty when the
   /// recording engine did not capture it).
   std::string plan_explain;
+  /// Cold orphans adopted while preparing the statement
+  /// (QueryTrace::num_adoptions: restart images or fleet peers' spills).
+  /// Serialized only when nonzero, so traces from engines predating the
+  /// field round-trip byte-identically.
+  int64_t adoptions = 0;
 };
 
 /// One append event (Database::AppendTable), recorded so replay can

@@ -72,6 +72,12 @@ int64_t RunReport::TotalColdHits() const {
   return n;
 }
 
+int64_t RunReport::TotalAdoptions() const {
+  int64_t n = 0;
+  for (const auto& r : records) n += r.trace.num_adoptions;
+  return n;
+}
+
 int64_t RunReport::TotalDeltaReuses() const {
   int64_t n = 0;
   for (const auto& r : records) n += r.trace.num_delta_reuses;
@@ -165,6 +171,7 @@ RunReport WorkloadDriver::Run(std::vector<StreamSpec> streams) {
     ss.subsumption_reuses += r.trace.num_subsumption_reuses;
     ss.partial_reuses += r.trace.num_partial_reuses;
     ss.cold_hits += r.trace.num_cold_hits;
+    ss.adoptions += r.trace.num_adoptions;
     ss.delta_reuses += r.trace.num_delta_reuses;
     ss.agg_merges += r.trace.num_agg_merges;
     ss.materializations += r.trace.num_materialized;
@@ -246,6 +253,9 @@ std::string FormatTrace(const RunReport& report) {
     if (r.trace.num_cold_hits > 0) {
       events += StrFormat("(cold:%d) ", r.trace.num_cold_hits);
     }
+    if (r.trace.num_adoptions > 0) {
+      events += StrFormat("(adopt:%d) ", r.trace.num_adoptions);
+    }
     if (r.trace.num_delta_reuses > 0) {
       events += StrFormat("(delta:%d) ", r.trace.num_delta_reuses);
     }
@@ -290,10 +300,11 @@ std::string FormatSummary(const RunReport& report) {
       report.LatencyPercentileMs(50), report.LatencyPercentileMs(95),
       report.LatencyPercentileMs(99));
   out += StrFormat(
-      "reuse_rate=%.1f%% reuses=%lld cold_hits=%lld delta_reuses=%lld "
-      "agg_merges=%lld materializations=%lld stalls=%lld\n",
+      "reuse_rate=%.1f%% reuses=%lld cold_hits=%lld adoptions=%lld "
+      "delta_reuses=%lld agg_merges=%lld materializations=%lld stalls=%lld\n",
       100.0 * report.ReuseRate(), static_cast<long long>(report.TotalReuses()),
       static_cast<long long>(report.TotalColdHits()),
+      static_cast<long long>(report.TotalAdoptions()),
       static_cast<long long>(report.TotalDeltaReuses()),
       static_cast<long long>(report.TotalAggMerges()),
       static_cast<long long>(report.TotalMaterializations()),

@@ -59,6 +59,9 @@ struct StreamStats {
   int64_t partial_reuses = 0;
   /// Reuses served from the on-disk cold tier (subset of reuses).
   int64_t cold_hits = 0;
+  /// Cold orphans adopted during preparation (restart images or fleet
+  /// peers' spills; enablers of reuse, not reuses themselves).
+  int64_t adoptions = 0;
   /// Reuses served by delta maintenance over append-stale entries
   /// (subset of reuses).
   int64_t delta_reuses = 0;
@@ -97,6 +100,8 @@ struct RunReport {
   int64_t TotalMaterializations() const;
   /// Reuses served by cold-tier re-admission across all streams.
   int64_t TotalColdHits() const;
+  /// Cold orphans adopted during preparation across all streams.
+  int64_t TotalAdoptions() const;
   /// Reuses served by delta maintenance across all streams.
   int64_t TotalDeltaReuses() const;
   /// Delta reuses served by aggregate-state merges across all streams.
